@@ -1,0 +1,425 @@
+package linkpred
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (one benchmark per artifact, DESIGN.md §3) plus ablation
+// benchmarks for the design choices called out in DESIGN.md §4 and
+// per-algorithm prediction microbenchmarks.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The shared fixture (three networks at experiments.BenchConfig scale, the
+// cached metric sweep, and the prepared classification instances) is built
+// once; the first benchmark touching each cached artifact pays its cost.
+
+import (
+	"sync"
+	"testing"
+
+	"linkpred/internal/experiments"
+	"linkpred/internal/gen"
+	"linkpred/internal/predict"
+)
+
+var (
+	benchOnce sync.Once
+	benchCfg  experiments.Config
+	benchNets []*experiments.Network
+)
+
+func benchSetup(b *testing.B) (experiments.Config, []*experiments.Network) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCfg = experiments.BenchConfig()
+		benchNets = experiments.LoadNetworks(benchCfg)
+	})
+	return benchCfg, benchNets
+}
+
+func benchNet(b *testing.B, name string) *experiments.Network {
+	_, nets := benchSetup(b)
+	for _, n := range nets {
+		if n.Cfg.Name == name {
+			return n
+		}
+	}
+	b.Fatalf("unknown network %s", name)
+	return nil
+}
+
+func BenchmarkTable2(b *testing.B) {
+	c, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table2(c); len(rows) != 3 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	c, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if series := experiments.Figure1(c); len(series) != 3 {
+			b.Fatalf("series = %d", len(series))
+		}
+	}
+}
+
+func BenchmarkFigures2to4(b *testing.B) {
+	c, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if series := experiments.Figures2to4(c); len(series) != 3 {
+			b.Fatalf("series = %d", len(series))
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	c, nets := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table4(c, nets); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	c, nets := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if series := experiments.Figure5(c, nets); len(series) == 0 {
+			b.Fatal("no series")
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	c, nets := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure6(c, nets)
+		if res.Tree == nil {
+			b.Fatal("no tree")
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	c, _ := benchSetup(b)
+	n := benchNet(b, "renren")
+	algs := []predict.Algorithm{predict.Rescal, predict.LRW, predict.KatzLR, predict.LP, predict.BCN, predict.BAA, predict.BRA}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table5(c, n, algs); len(rows) != len(algs) {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	c, _ := benchSetup(b)
+	n := benchNet(b, "renren")
+	algs := []predict.Algorithm{predict.BCN, predict.JC, predict.LP, predict.PPR, predict.Rescal}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if series := experiments.Figure7(c, n, algs); len(series) != len(algs)+1 {
+			b.Fatalf("series = %d", len(series))
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	c, _ := benchSetup(b)
+	n := benchNet(b, "renren")
+	algs := []predict.Algorithm{predict.BCN, predict.JC, predict.LP, predict.PPR, predict.Rescal}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if series := experiments.Figure8(c, n, algs); len(series) != len(algs)+1 {
+			b.Fatalf("series = %d", len(series))
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	c, nets := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table6(c, nets); len(rows) != 6 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	c, _ := benchSetup(b)
+	n := benchNet(b, "facebook")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure9(c, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 8 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	c, nets := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure10(c, nets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	c, nets := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure11(c, nets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3*15 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	c, nets := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Figure12(c, nets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 3 {
+			b.Fatalf("series = %d", len(series))
+		}
+	}
+}
+
+func BenchmarkFigures13to15(b *testing.B) {
+	c, nets := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Figures13to15(c, nets); len(rows) != 3 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	_, nets := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table7(nets); len(rows) != 3 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTable8(b *testing.B) {
+	c, nets := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table8(c, nets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	c, nets := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure16(c, nets, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkExtraMissingLinks regenerates the missing-link detection extra.
+func BenchmarkExtraMissingLinks(b *testing.B) {
+	c, nets := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.MissingLinks(c, nets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkExtraDirected regenerates the directed prediction extra.
+func BenchmarkExtraDirected(b *testing.B) {
+	c, nets := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Directed(c, nets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAlgorithms measures each algorithm's full-graph Predict on the
+// benchmark Renren snapshot (the paper's §3.2 computational-cost tiers).
+func BenchmarkAlgorithms(b *testing.B) {
+	c, _ := benchSetup(b)
+	n := benchNet(b, "renren")
+	cut := n.Cuts[len(n.Cuts)-2]
+	g := n.Trace.SnapshotAtEdge(cut.EdgeCount)
+	k := n.Delta
+	for _, alg := range predict.All() {
+		b.Run(alg.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if pred := alg.Predict(g, k, c.Opt); len(pred) == 0 {
+					b.Fatal("no predictions")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCandidates compares the latent algorithms' bounded
+// global candidate set (DESIGN.md §4) against exhaustive enumeration on a
+// reduced graph, reporting the accuracy-relevant overlap as a metric.
+func BenchmarkAblationCandidates(b *testing.B) {
+	cfg := gen.YouTube(3).Scaled(0.12)
+	tr := gen.MustGenerate(cfg)
+	cuts := tr.Cuts(gen.DefaultDelta(cfg))
+	i := len(cuts) - 2
+	g := tr.SnapshotAtEdge(cuts[i].EdgeCount)
+	truth := predict.TruthSet(g, tr.NewEdgesBetween(cuts[i], cuts[i+1]))
+	k := len(truth)
+	opt := predict.DefaultOptions()
+
+	b.Run("bounded", func(b *testing.B) {
+		var correct int
+		for i := 0; i < b.N; i++ {
+			pred := predict.Rescal.Predict(g, k, opt)
+			correct = predict.CountCorrect(pred, truth)
+		}
+		b.ReportMetric(float64(correct), "correct")
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		var correct int
+		for i := 0; i < b.N; i++ {
+			// Exhaustive: score every unconnected pair.
+			var pairs []predict.Pair
+			nn := g.NumNodes()
+			for u := 0; u < nn; u++ {
+				for v := u + 1; v < nn; v++ {
+					if !g.HasEdge(int32(u), int32(v)) {
+						pairs = append(pairs, predict.Pair{U: int32(u), V: int32(v)})
+					}
+				}
+			}
+			scores := predict.Rescal.ScorePairs(g, pairs, opt)
+			top := predict.NewRanker(k, opt.Seed)
+			for j, p := range pairs {
+				top.Add(p.U, p.V, scores[j])
+			}
+			correct = predict.CountCorrect(top.Result(), truth)
+		}
+		b.ReportMetric(float64(correct), "correct")
+	})
+}
+
+// BenchmarkAblationKatzRank sweeps the low-rank Katz approximation rank.
+func BenchmarkAblationKatzRank(b *testing.B) {
+	c, _ := benchSetup(b)
+	n := benchNet(b, "facebook")
+	cut := n.Cuts[len(n.Cuts)-2]
+	g := n.Trace.SnapshotAtEdge(cut.EdgeCount)
+	for _, rank := range []int{8, 32, 128} {
+		opt := c.Opt
+		opt.KatzRank = rank
+		b.Run(map[int]string{8: "rank8", 32: "rank32", 128: "rank128"}[rank], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if pred := predict.KatzLR.Predict(g, n.Delta, opt); len(pred) == 0 {
+					b.Fatal("no predictions")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationUndersampling sweeps the SVM undersampling ratio on one
+// prepared instance, reporting the accuracy ratio (Figure 10's ablation).
+func BenchmarkAblationUndersampling(b *testing.B) {
+	c, _ := benchSetup(b)
+	rows, err := experiments.Figure10(c, []*experiments.Network{benchNet(b, "renren")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Ratio.Mean, "ratio_theta_"+itoa(int(r.Theta)))
+	}
+	for i := 0; i < b.N; i++ {
+		_ = rows
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for v > 0 {
+		pos--
+		buf[pos] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[pos:])
+}
+
+// BenchmarkAblationKatzVariants compares the accuracy of the Katz
+// implementations against the truncated-exact reference on the benchmark
+// Facebook snapshot, reporting hits as metrics.
+func BenchmarkAblationKatzVariants(b *testing.B) {
+	c, _ := benchSetup(b)
+	n := benchNet(b, "facebook")
+	i := len(n.Cuts) - 2
+	g := n.Trace.SnapshotAtEdge(n.Cuts[i].EdgeCount)
+	truth := predict.TruthSet(g, n.Trace.NewEdgesBetween(n.Cuts[i], n.Cuts[i+1]))
+	k := len(truth)
+	for _, alg := range []predict.Algorithm{predict.KatzExact, predict.KatzLR, predict.KatzSC} {
+		b.Run(alg.Name(), func(b *testing.B) {
+			var correct int
+			for i := 0; i < b.N; i++ {
+				correct = predict.CountCorrect(alg.Predict(g, k, c.Opt), truth)
+			}
+			b.ReportMetric(float64(correct), "correct")
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"text/tabwriter"
+
+	"linkpred/internal/experiments"
+)
+
+// TestRenderAllExperiments exercises every renderer at a tiny scale,
+// catching formatting regressions and panics in the printing paths.
+func TestRenderAllExperiments(t *testing.T) {
+	c := experiments.TestConfig()
+	c.Scale = 0.1
+	c.Seeds = 1
+	c.SampleTarget = 80
+	c.MaxTransitions = 3
+	nets := experiments.LoadNetworks(c)
+	for _, id := range experimentIDs {
+		var buf bytes.Buffer
+		w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+		if err := run(w, id, c, nets); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		w.Flush()
+		out := buf.String()
+		if !strings.Contains(out, "==") {
+			t.Errorf("%s: missing header in output %q", id, out[:min(len(out), 80)])
+		}
+		if len(out) < 40 {
+			t.Errorf("%s: suspiciously short output %q", id, out)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	c := experiments.TestConfig()
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	if err := run(w, "nope", c, nil); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestCCDFAt(t *testing.T) {
+	s := experiments.Figure7Series{Degrees: []int{1, 5, 20}, Frac: []float64{1.0, 0.4, 0.1}}
+	if got := ccdfAt(s, 1); got != 1.0 {
+		t.Errorf("ccdfAt(1) = %v", got)
+	}
+	if got := ccdfAt(s, 3); got != 0.4 {
+		t.Errorf("ccdfAt(3) = %v (first threshold >= 3 is 5)", got)
+	}
+	if got := ccdfAt(s, 100); got != 0 {
+		t.Errorf("ccdfAt(100) = %v", got)
+	}
+}

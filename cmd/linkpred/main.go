@@ -1,0 +1,156 @@
+// Command linkpred predicts the next links of a stored dynamic-network
+// trace: it builds the snapshot sequence, runs the chosen algorithm on the
+// second-to-last snapshot, and reports the top-k predictions together with
+// their accuracy against the trace's actual final-snapshot edges.
+//
+// Usage:
+//
+//	linkpred -trace renren.trace -alg BRA -k 50
+//	linkpred -trace renren.trace -alg SVM -k 50        # classification
+//	linkpred -trace renren.trace -alg BRA -k 50 -filter renren
+//	linkpred -trace renren.trace -alg AA -missing 0.1  # missing-link mode
+//	linkpred -trace renren.trace -directed DCN         # directed mode
+//	linkpred -algs                                     # list algorithms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	linkpred "linkpred"
+	"linkpred/internal/graph"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace file written by tracegen")
+	alg := flag.String("alg", "BRA", "algorithm name, or SVM for the classification pipeline")
+	k := flag.Int("k", 0, "predictions to make (0 = ground-truth new-edge count)")
+	delta := flag.Int("delta", 0, "snapshot delta in edges (0 = 1/20 of the trace)")
+	filter := flag.String("filter", "", "apply temporal filter with this preset's thresholds (facebook/renren/youtube)")
+	missing := flag.Float64("missing", 0, "missing-link mode: hide this fraction of edges and recover them")
+	directed := flag.String("directed", "", "directed mode with this scorer (DCN, DAA, Recip, DPA)")
+	listAlgs := flag.Bool("algs", false, "list metric algorithms and exit")
+	seed := flag.Int64("seed", 1, "seed for tie-breaking and training")
+	flag.Parse()
+
+	if *listAlgs {
+		fmt.Println(strings.Join(linkpred.Algorithms(), " "))
+		return
+	}
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "linkpred: -trace is required (generate one with tracegen)")
+		os.Exit(2)
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	tr, err := graph.ReadTrace(f)
+	if err != nil {
+		fail(err)
+	}
+	d := *delta
+	if d <= 0 {
+		d = tr.NumEdges() / 20
+	}
+	cuts := tr.Cuts(d)
+	if len(cuts) < 3 {
+		fail(fmt.Errorf("trace too small for delta %d", d))
+	}
+	opt := linkpred.DefaultOptions()
+	opt.Seed = *seed
+
+	if *missing > 0 {
+		g := tr.SnapshotAtEdge(tr.NumEdges())
+		res, err := linkpred.DetectMissingLinks(g, *alg, *missing, opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s missing-link detection on %s (hid %.0f%% of %d edges): recovered %d/%d, ratio %.1fx, AUC %.3f\n",
+			*alg, tr.Name, 100**missing, g.NumEdges(), res.Recovered, res.Hidden, res.Ratio, res.AUC)
+		return
+	}
+	if *directed != "" {
+		var scorer linkpred.DirectedScorer
+		for _, s := range linkpred.DirectedScorers() {
+			if s.Name() == *directed {
+				scorer = s
+			}
+		}
+		if scorer == nil {
+			fail(fmt.Errorf("unknown directed scorer %q (DCN, DAA, Recip, DPA)", *directed))
+		}
+		m := len(tr.Edges) - d
+		dg := linkpred.DirectedFromTrace(tr, m)
+		budget := *k
+		if budget <= 0 {
+			budget = d
+		}
+		arcs := linkpred.PredictArcs(dg, scorer, budget, *seed)
+		truth := map[[2]int32]bool{}
+		for _, e := range tr.Edges[m:] {
+			truth[[2]int32{e.U, e.V}] = true
+		}
+		hits := 0
+		for _, a := range arcs {
+			if truth[[2]int32{a.From, a.To}] {
+				hits++
+			}
+		}
+		fmt.Printf("%s directed prediction on %s (%d arcs): %d predictions, %d correct\n",
+			*directed, tr.Name, dg.NumArcs(), len(arcs), hits)
+		return
+	}
+
+	i := len(cuts) - 2
+	g := tr.SnapshotAtEdge(cuts[i].EdgeCount)
+	truth := linkpred.TruthSet(g, tr.NewEdgesBetween(cuts[i], cuts[i+1]))
+	budget := *k
+	if budget <= 0 {
+		budget = len(truth)
+	}
+
+	var pred []linkpred.Pair
+	switch {
+	case *alg == "SVM":
+		_, res, err := linkpred.TrainSVM(tr, cuts[i-1], cuts[i], cuts[i+1], 400, 3, 1000, opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("SVM pipeline on snowball sample: %s\n", res)
+		return
+	case *filter != "":
+		tk := linkpred.NewTracker(tr)
+		fc := linkpred.FilterConfigFor(*filter)
+		pred, err = linkpred.FilteredPredict(*alg, g, tk, cuts[i].Time, budget, fc, opt)
+	default:
+		pred, err = linkpred.Predict(g, *alg, budget, opt)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	correct := linkpred.CountCorrect(pred, truth)
+	fmt.Printf("%s on %s (%d nodes, %d edges): %d predictions, %d correct, accuracy ratio %.1fx\n",
+		*alg, tr.Name, g.NumNodes(), g.NumEdges(), len(pred), correct,
+		linkpred.AccuracyRatio(correct, len(truth), g))
+	show := len(pred)
+	if show > 20 {
+		show = 20
+	}
+	for _, p := range pred[:show] {
+		mark := " "
+		if truth[p.Key()] {
+			mark = "✓"
+		}
+		fmt.Printf("  %s %6d -- %-6d score %.4g\n", mark, p.U, p.V, p.Score)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "linkpred: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Algorithmchooser reproduces the §4.3 workflow as a library application:
+// given a network snapshot, measure its structural features and choose a
+// link prediction algorithm with a decision tree trained on snapshots of
+// the three reference networks (Figure 6), then sanity-check the choice by
+// running the chosen and a default algorithm side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	linkpred "linkpred"
+	"linkpred/internal/analysis"
+	"linkpred/internal/experiments"
+)
+
+func main() {
+	// Train the chooser on snapshot transitions of the three reference
+	// networks (reduced scale for demo runtimes).
+	c := experiments.TestConfig()
+	c.Scale = 0.2
+	nets := experiments.LoadNetworks(c)
+	fig6 := experiments.Figure6(c, nets)
+	if fig6.Tree == nil {
+		log.Fatal("decision tree training failed")
+	}
+	fmt.Println("learned decision rules (features → best algorithm):")
+	for _, rule := range fig6.Rules {
+		fmt.Printf("  %s\n", rule)
+	}
+
+	// A "new" network the chooser has not seen: a YouTube-like trace with
+	// a different seed and size.
+	cfg := linkpred.YouTubeConfig(99, 0.25)
+	trace, err := linkpred.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cuts := trace.Cuts(linkpred.SnapshotDelta(cfg))
+	i := len(cuts) - 2
+	g := trace.SnapshotAtEdge(cuts[i].EdgeCount)
+
+	feats := analysis.Features(g, 250, 1)
+	fmt.Println("\nnew network features:")
+	for j, name := range analysis.FeatureNames {
+		fmt.Printf("  %-14s %.3g\n", name, feats[j])
+	}
+	choice := fig6.AlgClasses[fig6.Tree.PredictClass(feats)]
+	fmt.Printf("\nchooser recommends: %s\n", choice)
+
+	// Validate the recommendation on the next transition.
+	truth := linkpred.TruthSet(g, trace.NewEdgesBetween(cuts[i], cuts[i+1]))
+	k := len(truth)
+	opt := linkpred.DefaultOptions()
+	for _, name := range []string{choice, "JC"} {
+		pred, err := linkpred.Predict(g, name, k, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		correct := linkpred.CountCorrect(pred, truth)
+		fmt.Printf("  %-7s accuracy ratio %.1fx (%d/%d correct)\n",
+			name, linkpred.AccuracyRatio(correct, k, g), correct, k)
+	}
+}

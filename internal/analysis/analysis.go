@@ -1,0 +1,249 @@
+// Package analysis measures the structural network properties the paper uses
+// throughout: degree statistics, clustering coefficient, average path length,
+// degree assortativity, the 2-hop edge ratio λ₂ (§4.2), and the snapshot
+// feature vectors that feed the algorithm-choosing decision tree of §4.3.
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"linkpred/internal/graph"
+)
+
+// DegreeStats summarizes a snapshot's degree distribution.
+type DegreeStats struct {
+	Avg, Std              float64
+	Median, P90, P99, Max int
+}
+
+// Degrees computes degree statistics for g.
+func Degrees(g *graph.Graph) DegreeStats {
+	n := g.NumNodes()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	ds := make([]int, n)
+	sum := 0.0
+	for u := 0; u < n; u++ {
+		d := g.Degree(graph.NodeID(u))
+		ds[u] = d
+		sum += float64(d)
+	}
+	sort.Ints(ds)
+	avg := sum / float64(n)
+	varSum := 0.0
+	for _, d := range ds {
+		diff := float64(d) - avg
+		varSum += diff * diff
+	}
+	pct := func(p float64) int { return ds[min(n-1, int(p*float64(n)))] }
+	return DegreeStats{
+		Avg:    avg,
+		Std:    math.Sqrt(varSum / float64(n)),
+		Median: pct(0.5),
+		P90:    pct(0.9),
+		P99:    pct(0.99),
+		Max:    ds[n-1],
+	}
+}
+
+// DegreeCCDF returns, for each degree threshold d in ascending order, the
+// fraction of the given nodes with degree >= d. Used for Fig. 7's degree
+// distribution of predicted-edge endpoints.
+func DegreeCCDF(g *graph.Graph, nodes []graph.NodeID) (degrees []int, frac []float64) {
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	ds := make([]int, len(nodes))
+	for i, v := range nodes {
+		ds[i] = g.Degree(v)
+	}
+	sort.Ints(ds)
+	n := len(ds)
+	for i := 0; i < n; {
+		j := i
+		for j < n && ds[j] == ds[i] {
+			j++
+		}
+		degrees = append(degrees, ds[i])
+		frac = append(frac, float64(n-i)/float64(n))
+		i = j
+	}
+	return degrees, frac
+}
+
+// Clustering returns the average local clustering coefficient. When
+// sampleSize > 0 and smaller than the node count, a deterministic random
+// sample of nodes is measured instead of all nodes (the paper's graphs make
+// exact computation impractical; ours usually don't, but the harness samples
+// for speed on the largest snapshots).
+func Clustering(g *graph.Graph, sampleSize int, seed int64) float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	nodes := allNodes(n)
+	if sampleSize > 0 && sampleSize < n {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(n, func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+		nodes = nodes[:sampleSize]
+	}
+	sum := 0.0
+	counted := 0
+	for _, u := range nodes {
+		d := g.Degree(u)
+		if d < 2 {
+			counted++ // contributes 0, matching the usual convention
+			continue
+		}
+		links := 0
+		nb := g.Neighbors(u)
+		for i, w := range nb {
+			for _, x := range nb[i+1:] {
+				if g.HasEdge(w, x) {
+					links++
+				}
+			}
+		}
+		sum += 2 * float64(links) / (float64(d) * float64(d-1))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}
+
+// AvgPathLength estimates the mean shortest-path length over reachable pairs
+// by BFS from a deterministic sample of source nodes.
+func AvgPathLength(g *graph.Graph, sources int, seed int64) float64 {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0
+	}
+	nodes := allNodes(n)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	if sources > n {
+		sources = n
+	}
+	dist := make([]int32, n)
+	var queue []graph.NodeID
+	total, pairs := 0.0, 0
+	for _, src := range nodes[:sources] {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue = append(queue[:0], src)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Neighbors(u) {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if dist[v] > 0 {
+				total += float64(dist[v])
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return total / float64(pairs)
+}
+
+// Assortativity computes the degree assortativity coefficient (Pearson
+// correlation of degrees across edge endpoints, counting each undirected
+// edge in both directions as is standard).
+func Assortativity(g *graph.Graph) float64 {
+	var sx, sy, sxx, syy, sxy float64
+	m := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		du := float64(g.Degree(graph.NodeID(u)))
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			dv := float64(g.Degree(v))
+			sx += du
+			sy += dv
+			sxx += du * du
+			syy += dv * dv
+			sxy += du * dv
+			m++
+		}
+	}
+	if m == 0 {
+		return 0
+	}
+	fm := float64(m)
+	cov := sxy/fm - (sx/fm)*(sy/fm)
+	vx := sxx/fm - (sx/fm)*(sx/fm)
+	vy := syy/fm - (sy/fm)*(sy/fm)
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Lambda2 is the paper's λ₂: the fraction of new edges (with both endpoints
+// existing in prev) whose endpoints were exactly two hops apart in prev,
+// i.e. unconnected but sharing at least one common neighbor (§4.2).
+func Lambda2(prev *graph.Graph, newEdges []graph.Edge) float64 {
+	n := graph.NodeID(prev.NumNodes())
+	total, twoHop := 0, 0
+	for _, e := range newEdges {
+		if e.U >= n || e.V >= n {
+			continue // created by a node joining after prev
+		}
+		if prev.HasEdge(e.U, e.V) {
+			continue
+		}
+		total++
+		if prev.CountCommonNeighbors(e.U, e.V) > 0 {
+			twoHop++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(twoHop) / float64(total)
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series, the statistic the paper uses to relate metric accuracy to λ₂.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+		sxy += x[i] * y[i]
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+func allNodes(n int) []graph.NodeID {
+	nodes := make([]graph.NodeID, n)
+	for i := range nodes {
+		nodes[i] = graph.NodeID(i)
+	}
+	return nodes
+}

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"linkpred/internal/graph"
+)
+
+func triangle() *graph.Graph {
+	return graph.Build(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+}
+
+func path(n int) *graph.Graph {
+	edges := make([]graph.Edge, n-1)
+	for i := 0; i < n-1; i++ {
+		edges[i] = graph.Edge{U: graph.NodeID(i), V: graph.NodeID(i + 1), Time: int64(i)}
+	}
+	return graph.Build(n, edges)
+}
+
+func star(n int) *graph.Graph {
+	edges := make([]graph.Edge, n-1)
+	for i := 1; i < n; i++ {
+		edges[i-1] = graph.Edge{U: 0, V: graph.NodeID(i), Time: int64(i)}
+	}
+	return graph.Build(n, edges)
+}
+
+func TestDegrees(t *testing.T) {
+	g := star(5) // degrees: 4,1,1,1,1
+	ds := Degrees(g)
+	if math.Abs(ds.Avg-8.0/5.0) > 1e-12 {
+		t.Errorf("Avg = %v, want 1.6", ds.Avg)
+	}
+	if ds.Max != 4 {
+		t.Errorf("Max = %d, want 4", ds.Max)
+	}
+	if ds.Median != 1 {
+		t.Errorf("Median = %d, want 1", ds.Median)
+	}
+	if Degrees(graph.Build(0, nil)) != (DegreeStats{}) {
+		t.Error("empty graph should produce zero stats")
+	}
+}
+
+func TestClusteringExact(t *testing.T) {
+	if c := Clustering(triangle(), 0, 1); math.Abs(c-1) > 1e-12 {
+		t.Errorf("triangle clustering = %v, want 1", c)
+	}
+	if c := Clustering(path(5), 0, 1); c != 0 {
+		t.Errorf("path clustering = %v, want 0", c)
+	}
+	// Square plus one diagonal: nodes 0-1-2-3-0 and 0-2.
+	g := graph.Build(4, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}, {U: 0, V: 2},
+	})
+	// c(0)=c(2)= 2/3*... deg 3 → pairs 3, links 2 → 2/3; c(1)=c(3)=1 (deg 2, neighbors 0,2 linked).
+	want := (2.0/3.0 + 2.0/3.0 + 1 + 1) / 4
+	if c := Clustering(g, 0, 1); math.Abs(c-want) > 1e-12 {
+		t.Errorf("clustering = %v, want %v", c, want)
+	}
+}
+
+func TestAvgPathLength(t *testing.T) {
+	// Path of 3 nodes: distances 1,1,2 in each direction; BFS from all
+	// sources: pairs (0→1)=1,(0→2)=2,(1→0)=1,(1→2)=1,(2→1)=1,(2→0)=2; avg = 8/6.
+	g := path(3)
+	got := AvgPathLength(g, 3, 1)
+	if math.Abs(got-8.0/6.0) > 1e-12 {
+		t.Errorf("AvgPathLength = %v, want %v", got, 8.0/6.0)
+	}
+	if AvgPathLength(graph.Build(1, nil), 1, 1) != 0 {
+		t.Error("single node path length should be 0")
+	}
+}
+
+func TestAssortativitySign(t *testing.T) {
+	// Star: maximally disassortative.
+	if a := Assortativity(star(20)); a >= 0 {
+		t.Errorf("star assortativity = %v, want < 0", a)
+	}
+	// Two disjoint cliques of different sizes: every node connects to
+	// equal-degree nodes → assortativity degenerate (all variance within
+	// group); a ring has zero variance → returns 0.
+	ring := graph.Build(6, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 0},
+	})
+	if a := Assortativity(ring); a != 0 {
+		t.Errorf("ring assortativity = %v, want 0 (degenerate)", a)
+	}
+}
+
+func TestLambda2(t *testing.T) {
+	// prev: path 0-1-2. New edges: (0,2) is a 2-hop pair; (0,3) involves an
+	// unseen node; adding (0,1) is already connected.
+	prev := path(3)
+	newEdges := []graph.Edge{
+		{U: 0, V: 2}, // 2-hop
+		{U: 0, V: 3}, // node 3 not in prev: skipped
+		{U: 0, V: 1}, // already connected: skipped
+	}
+	if l := Lambda2(prev, newEdges); math.Abs(l-1) > 1e-12 {
+		t.Errorf("Lambda2 = %v, want 1", l)
+	}
+	// Distant pair: 0-1-2-3-4 path, new edge (0,4) is 4 hops.
+	prev5 := path(5)
+	if l := Lambda2(prev5, []graph.Edge{{U: 0, V: 4}}); l != 0 {
+		t.Errorf("Lambda2 = %v, want 0", l)
+	}
+	if l := Lambda2(prev5, nil); l != 0 {
+		t.Errorf("Lambda2(no edges) = %v, want 0", l)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if p := Pearson(x, []float64{2, 4, 6, 8}); math.Abs(p-1) > 1e-12 {
+		t.Errorf("Pearson = %v, want 1", p)
+	}
+	if p := Pearson(x, []float64{8, 6, 4, 2}); math.Abs(p+1) > 1e-12 {
+		t.Errorf("Pearson = %v, want -1", p)
+	}
+	if p := Pearson(x, []float64{5, 5, 5, 5}); p != 0 {
+		t.Errorf("Pearson with constant series = %v, want 0", p)
+	}
+	if p := Pearson(x, []float64{1}); p != 0 {
+		t.Errorf("Pearson with mismatched lengths = %v, want 0", p)
+	}
+}
+
+func TestDegreeCCDF(t *testing.T) {
+	g := star(5)
+	degs, frac := DegreeCCDF(g, []graph.NodeID{0, 1, 2, 3, 4})
+	// Degrees sorted: 1,1,1,1,4 → thresholds 1 (frac 1.0) and 4 (frac 0.2).
+	if len(degs) != 2 || degs[0] != 1 || degs[1] != 4 {
+		t.Fatalf("degs = %v", degs)
+	}
+	if math.Abs(frac[0]-1) > 1e-12 || math.Abs(frac[1]-0.2) > 1e-12 {
+		t.Fatalf("frac = %v", frac)
+	}
+	if d, f := DegreeCCDF(g, nil); d != nil || f != nil {
+		t.Error("empty node list should produce nil CCDF")
+	}
+}
+
+// Property: Pearson is symmetric and within [-1, 1].
+func TestPearsonQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		p := Pearson(x, y)
+		q := Pearson(y, x)
+		return math.Abs(p-q) < 1e-9 && p >= -1-1e-9 && p <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: assortativity and clustering stay within their valid ranges on
+// random graphs.
+func TestRangesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		var edges []graph.Edge
+		for i := 0; i < 3*n; i++ {
+			edges = append(edges, graph.Edge{
+				U: graph.NodeID(rng.Intn(n)), V: graph.NodeID(rng.Intn(n)), Time: int64(i),
+			})
+		}
+		g := graph.Build(n, edges)
+		a := Assortativity(g)
+		c := Clustering(g, 0, seed)
+		return a >= -1-1e-9 && a <= 1+1e-9 && c >= 0 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	g := star(30)
+	f := Features(g, 50, 1)
+	if len(f) != len(FeatureNames) {
+		t.Fatalf("feature vector length %d != %d names", len(f), len(FeatureNames))
+	}
+	if f[0] != 30 || f[1] != 29 {
+		t.Errorf("node/edge features = %v, %v", f[0], f[1])
+	}
+	if f[9] >= 0 {
+		t.Errorf("star assortativity feature = %v, want negative", f[9])
+	}
+}

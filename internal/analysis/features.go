@@ -1,0 +1,41 @@
+package analysis
+
+import "linkpred/internal/graph"
+
+// FeatureNames lists, in order, the snapshot features fed to the §4.3
+// algorithm-choosing decision tree: node count, edge count, degree
+// statistics, clustering coefficient, average path length, and assortativity.
+var FeatureNames = []string{
+	"nodes",
+	"edges",
+	"deg_avg",
+	"deg_std",
+	"deg_median",
+	"deg_p90",
+	"deg_p99",
+	"clustering",
+	"avg_path_len",
+	"assortativity",
+}
+
+// Features computes the FeatureNames vector for a snapshot. sample bounds
+// the node sample used for the clustering and path-length estimates (<= 0
+// means a default of 200 sources).
+func Features(g *graph.Graph, sample int, seed int64) []float64 {
+	if sample <= 0 {
+		sample = 200
+	}
+	ds := Degrees(g)
+	return []float64{
+		float64(g.NumNodes()),
+		float64(g.NumEdges()),
+		ds.Avg,
+		ds.Std,
+		float64(ds.Median),
+		float64(ds.P90),
+		float64(ds.P99),
+		Clustering(g, sample, seed),
+		AvgPathLength(g, min(sample/4+1, 64), seed),
+		Assortativity(g),
+	}
+}

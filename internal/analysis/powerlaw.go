@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"linkpred/internal/graph"
+)
+
+// Spearman returns the Spearman rank correlation of two equal-length
+// series (Pearson correlation of their average ranks). Used to compare
+// algorithm orderings across experiment instances.
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	return Pearson(averageRanks(x), averageRanks(y))
+}
+
+// averageRanks converts values into 1-based ranks, with ties sharing the
+// mean rank.
+func averageRanks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	ranks := make([]float64, len(v))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && v[idx[j]] == v[idx[i]] {
+			j++
+		}
+		mean := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = mean
+		}
+		i = j
+	}
+	return ranks
+}
+
+// PowerLawAlpha estimates the exponent of a power-law degree distribution
+// P(k) ∝ k^-α by the discrete maximum-likelihood estimator (Clauset-style
+// with the 1/2 continuity correction), over nodes with degree >= kmin.
+// Returns 0 when fewer than two nodes qualify. Heavy-tailed (subscription)
+// networks yield small α (2-3); homogeneous networks yield large values.
+func PowerLawAlpha(g *graph.Graph, kmin int) float64 {
+	if kmin < 1 {
+		kmin = 1
+	}
+	var sum float64
+	n := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.Degree(graph.NodeID(u))
+		if d >= kmin {
+			sum += math.Log(float64(d) / (float64(kmin) - 0.5))
+			n++
+		}
+	}
+	if n < 2 || sum == 0 {
+		return 0
+	}
+	return 1 + float64(n)/sum
+}
+
+// DegreeHistogram returns the count of nodes at each degree, as parallel
+// ascending-degree slices.
+func DegreeHistogram(g *graph.Graph) (degrees []int, counts []int) {
+	h := map[int]int{}
+	for u := 0; u < g.NumNodes(); u++ {
+		h[g.Degree(graph.NodeID(u))]++
+	}
+	for d := range h {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	counts = make([]int, len(degrees))
+	for i, d := range degrees {
+		counts[i] = h[d]
+	}
+	return degrees, counts
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"linkpred/internal/graph"
+)
+
+func TestSpearman(t *testing.T) {
+	// Monotone transform preserves ranks exactly.
+	x := []float64{1, 5, 3, 9, 7}
+	y := []float64{10, 50, 30, 90, 70}
+	if s := Spearman(x, y); math.Abs(s-1) > 1e-12 {
+		t.Errorf("Spearman = %v, want 1", s)
+	}
+	rev := []float64{90, 50, 70, 10, 30}
+	if s := Spearman(x, rev); math.Abs(s+1) > 1e-12 {
+		t.Errorf("reversed Spearman = %v, want -1", s)
+	}
+	if s := Spearman(x, []float64{1}); s != 0 {
+		t.Errorf("mismatched lengths = %v", s)
+	}
+	// Ties share mean ranks; all-equal series is degenerate → 0.
+	if s := Spearman(x, []float64{2, 2, 2, 2, 2}); s != 0 {
+		t.Errorf("constant series Spearman = %v", s)
+	}
+}
+
+// Property: Spearman is invariant under any strictly increasing transform.
+func TestSpearmanMonotoneInvarianceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		base := Spearman(x, y)
+		yT := make([]float64, n)
+		for i := range y {
+			yT[i] = math.Exp(y[i]) // strictly increasing
+		}
+		return math.Abs(Spearman(x, yT)-base) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// powerLawGraph draws degrees from P(k) ∝ k^-alpha via inverse transform
+// and builds a configuration-model-ish star forest realizing them
+// approximately.
+func powerLawGraph(alpha float64, n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var stubs []graph.NodeID
+	for v := 0; v < n; v++ {
+		u := rng.Float64()
+		k := int(math.Pow(1-u, -1/(alpha-1))) // kmin = 1
+		if k > n/2 {
+			k = n / 2
+		}
+		for i := 0; i < k; i++ {
+			stubs = append(stubs, graph.NodeID(v))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	var edges []graph.Edge
+	for i := 0; i+1 < len(stubs); i += 2 {
+		if stubs[i] != stubs[i+1] {
+			edges = append(edges, graph.Edge{U: stubs[i], V: stubs[i+1], Time: int64(i)})
+		}
+	}
+	return graph.Build(n, edges)
+}
+
+func TestPowerLawAlphaRecovers(t *testing.T) {
+	// The stub-pairing construction dedupes multi-edges, so realized
+	// degrees sit slightly below the drawn ones; accept a generous band
+	// around the target exponent.
+	g := powerLawGraph(2.5, 20000, 1)
+	got := PowerLawAlpha(g, 2)
+	if got < 1.7 || got > 3.3 {
+		t.Errorf("alpha = %v, want near 2.5", got)
+	}
+	// Homogeneous graph (ring, every degree exactly 2): at kmin=2 the MLE
+	// sees zero spread above kmin and returns a much larger exponent than
+	// any heavy-tailed graph.
+	ringEdges := make([]graph.Edge, 100)
+	for i := 0; i < 100; i++ {
+		ringEdges[i] = graph.Edge{U: graph.NodeID(i), V: graph.NodeID((i + 1) % 100), Time: int64(i)}
+	}
+	ring := graph.Build(100, ringEdges)
+	if a := PowerLawAlpha(ring, 2); a < got {
+		t.Errorf("ring alpha %v should exceed power-law alpha %v at kmin=2", a, got)
+	}
+	if a := PowerLawAlpha(graph.Build(1, nil), 1); a != 0 {
+		t.Errorf("degenerate alpha = %v", a)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := graph.Build(4, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}})
+	degs, counts := DegreeHistogram(g)
+	// Degrees present: 1 (x3) and 3 (x1).
+	if len(degs) != 2 || degs[0] != 1 || degs[1] != 3 {
+		t.Fatalf("degs = %v", degs)
+	}
+	if counts[0] != 3 || counts[1] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}

@@ -1,0 +1,313 @@
+// Package classify implements the paper's classification-based link
+// prediction pipeline (§5): snowball sampling of the node set, extraction of
+// the 14 similarity metrics as features for every sampled node pair,
+// training on the G_{t-2} → G_{t-1} transition with undersampling, and
+// top-k evaluation on the G_{t-1} → G_t transition. The same prepared
+// instance also evaluates metric-based algorithms on the identical sampled
+// universe, enabling the Figure 11 comparison, and exposes SVM coefficients
+// for Figure 12.
+package classify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"linkpred/internal/graph"
+	"linkpred/internal/ml"
+	"linkpred/internal/predict"
+	"linkpred/internal/temporal"
+)
+
+// Snowball samples nodes from g by breadth-first search from seed until
+// target nodes are visited (Goodman [12]); if the seed's component is
+// exhausted, the walk restarts from the lowest-ID unvisited node, keeping
+// the procedure deterministic. The returned set is sorted by node ID.
+func Snowball(g *graph.Graph, target int, seed graph.NodeID) []graph.NodeID {
+	n := g.NumNodes()
+	if target > n {
+		target = n
+	}
+	if target <= 0 || n == 0 {
+		return nil
+	}
+	visited := make([]bool, n)
+	out := make([]graph.NodeID, 0, target)
+	queue := make([]graph.NodeID, 0, target)
+	visit := func(v graph.NodeID) {
+		visited[v] = true
+		out = append(out, v)
+		queue = append(queue, v)
+	}
+	if int(seed) >= n {
+		seed = graph.NodeID(int(seed) % n)
+	}
+	visit(seed)
+	nextUnvisited := graph.NodeID(0)
+	for len(out) < target {
+		if len(queue) == 0 {
+			for int(nextUnvisited) < n && visited[nextUnvisited] {
+				nextUnvisited++
+			}
+			if int(nextUnvisited) >= n {
+				break
+			}
+			visit(nextUnvisited)
+			continue
+		}
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if !visited[w] {
+				visit(w)
+				if len(out) >= target {
+					break
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Prepared holds one classification evaluation instance: sampled node sets,
+// feature matrices for training and testing pairs, and the ground truth of
+// the test transition.
+type Prepared struct {
+	// GTrain is G_{t-2}, GTest is G_{t-1}.
+	GTrain, GTest *graph.Graph
+	// TestTime is the timestamp of G_{t-1}, used by temporal filtering.
+	TestTime int64
+	// FeatureNames are the metric names, in feature-column order.
+	FeatureNames []string
+	// TrainPairs/TrainX/TrainY: unconnected sampled pairs in G_{t-2}
+	// labeled by connection in G_{t-1}.
+	TrainPairs []predict.Pair
+	TrainX     [][]float64
+	TrainY     []int
+	// TestPairs/TestX: unconnected sampled pairs in G_{t-1}; TruthTest
+	// marks those that connect in G_t.
+	TestPairs []predict.Pair
+	TestX     [][]float64
+	TruthTest map[uint64]bool
+	// K is the ground-truth new-edge count within the sampled universe.
+	K int
+}
+
+// samplePairs enumerates the unconnected pairs among nodes on g.
+func samplePairs(g *graph.Graph, nodes []graph.NodeID) []predict.Pair {
+	var pairs []predict.Pair
+	for i, u := range nodes {
+		for _, v := range nodes[i+1:] {
+			if !g.HasEdge(u, v) {
+				pairs = append(pairs, predict.Pair{U: u, V: v})
+			}
+		}
+	}
+	return pairs
+}
+
+// featureMatrix runs every metric's ScorePairs over the pairs. Each raw
+// score is passed through the signed logarithm sign(x)·log(1+|x|): the
+// similarity metrics span six orders of magnitude (PA in the tens of
+// thousands, LRW around 1e-4) with extremely heavy tails, and compressing
+// them keeps margin-based classifiers from being dominated by outlier
+// pairs. The transform is monotone per feature, so single-metric rankings
+// (and therefore the Figure 11 comparison) are unaffected.
+func featureMatrix(g *graph.Graph, pairs []predict.Pair, algs []predict.Algorithm, opt predict.Options) [][]float64 {
+	x := make([][]float64, len(pairs))
+	for i := range x {
+		x[i] = make([]float64, len(algs))
+	}
+	for j, alg := range algs {
+		scores := alg.ScorePairs(g, pairs, opt)
+		for i, s := range scores {
+			x[i][j] = math.Copysign(math.Log1p(math.Abs(s)), s)
+		}
+	}
+	return x
+}
+
+// Prepare builds the instance for the three consecutive snapshot cuts
+// (train, test, eval) of a trace, snowball-sampling sampleTarget nodes with
+// the given seed node.
+func Prepare(tr *graph.Trace, cutTrain, cutTest, cutEval graph.SnapshotCut, sampleTarget int, seed graph.NodeID, opt predict.Options) (*Prepared, error) {
+	if !(cutTrain.EdgeCount < cutTest.EdgeCount && cutTest.EdgeCount < cutEval.EdgeCount) {
+		return nil, fmt.Errorf("classify: cuts must be strictly increasing: %v %v %v", cutTrain, cutTest, cutEval)
+	}
+	gTrain := tr.SnapshotAtEdge(cutTrain.EdgeCount)
+	gTest := tr.SnapshotAtEdge(cutTest.EdgeCount)
+
+	algs := predict.FeatureSet()
+	names := make([]string, len(algs))
+	for i, a := range algs {
+		names[i] = a.Name()
+	}
+	p := &Prepared{
+		GTrain:       gTrain,
+		GTest:        gTest,
+		TestTime:     cutTest.Time,
+		FeatureNames: names,
+	}
+
+	// Training side: sample on G_{t-2}, label by G_{t-1}.
+	trainNodes := Snowball(gTrain, sampleTarget, seed)
+	p.TrainPairs = samplePairs(gTrain, trainNodes)
+	p.TrainX = featureMatrix(gTrain, p.TrainPairs, algs, opt)
+	p.TrainY = make([]int, len(p.TrainPairs))
+	for i, pr := range p.TrainPairs {
+		if gTest.HasEdge(pr.U, pr.V) {
+			p.TrainY[i] = 1
+		}
+	}
+
+	// Test side: sample on G_{t-1} with the same seed, label by G_t.
+	testNodes := Snowball(gTest, sampleTarget, seed)
+	p.TestPairs = samplePairs(gTest, testNodes)
+	p.TestX = featureMatrix(gTest, p.TestPairs, algs, opt)
+	truth := predict.TruthSet(gTest, tr.NewEdgesBetween(cutTest, cutEval))
+	p.TruthTest = make(map[uint64]bool)
+	for _, pr := range p.TestPairs {
+		if truth[pr.Key()] {
+			p.TruthTest[pr.Key()] = true
+		}
+	}
+	p.K = len(p.TruthTest)
+	return p, nil
+}
+
+// Result is one evaluation outcome on the sampled universe.
+type Result struct {
+	// Correct is the overlap between the top-k prediction and the truth.
+	Correct int
+	// K is the prediction budget (= ground-truth count).
+	K int
+	// Ratio is the accuracy ratio against random prediction *within the
+	// sampled pair universe*: correct / (k²/U) with U = |TestPairs|.
+	Ratio float64
+	// Accuracy is the absolute top-k precision, correct/k.
+	Accuracy float64
+}
+
+func (p *Prepared) result(correct int) Result {
+	r := Result{Correct: correct, K: p.K}
+	if p.K > 0 {
+		r.Accuracy = float64(correct) / float64(p.K)
+		expected := float64(p.K) * float64(p.K) / float64(len(p.TestPairs))
+		if expected > 0 {
+			r.Ratio = float64(correct) / expected
+		}
+	}
+	return r
+}
+
+// rankTopK selects the k best test pairs by score with the deterministic
+// tie-break, optionally restricted by keep (nil = no filter).
+func (p *Prepared) rankTopK(scores []float64, seed int64, keep func(predict.Pair) bool) []predict.Pair {
+	top := predict.NewRanker(p.K, seed)
+	for i, pr := range p.TestPairs {
+		if keep != nil && !keep(pr) {
+			continue
+		}
+		top.Add(pr.U, pr.V, scores[i])
+	}
+	return top.Result()
+}
+
+// scoreAndCount ranks and counts correct predictions.
+func (p *Prepared) scoreAndCount(scores []float64, seed int64, keep func(predict.Pair) bool) Result {
+	pred := p.rankTopK(scores, seed, keep)
+	return p.result(predict.CountCorrect(pred, p.TruthTest))
+}
+
+// EvaluateClassifier trains clf on the undersampled training set (θ = 1 :
+// ratio) and evaluates top-k selection over the test pairs. The classifier
+// is mutated (fitted); pass a fresh instance per call.
+func (p *Prepared) EvaluateClassifier(clf ml.Classifier, ratio float64, seed int64) (Result, error) {
+	res, _, err := p.evaluateClassifier(clf, ratio, seed, nil)
+	return res, err
+}
+
+// EvaluateClassifierFiltered is EvaluateClassifier with the §6 temporal
+// filter applied to the candidate pairs before ranking.
+func (p *Prepared) EvaluateClassifierFiltered(clf ml.Classifier, ratio float64, seed int64, tk *temporal.Tracker, fc temporal.FilterConfig) (Result, error) {
+	res, _, err := p.evaluateClassifier(clf, ratio, seed, func(pr predict.Pair) bool {
+		return tk.Pass(p.GTest, pr.U, pr.V, p.TestTime, fc)
+	})
+	return res, err
+}
+
+func (p *Prepared) evaluateClassifier(clf ml.Classifier, ratio float64, seed int64, keep func(predict.Pair) bool) (Result, ml.Classifier, error) {
+	train := ml.Undersample(&ml.Dataset{X: p.TrainX, Y: p.TrainY}, ratio, seed)
+	if train.CountClass(1) == 0 {
+		return Result{}, nil, fmt.Errorf("classify: no positive training pairs in sample")
+	}
+	if err := clf.Fit(train); err != nil {
+		return Result{}, nil, err
+	}
+	scores := make([]float64, len(p.TestPairs))
+	for i, row := range p.TestX {
+		scores[i] = clf.Score(row)
+	}
+	return p.scoreAndCount(scores, seed, keep), clf, nil
+}
+
+// SVMCoefficients trains an SVM at the given undersampling ratio and
+// returns the normalized absolute feature weights (summing to 1), keyed by
+// FeatureNames order — the Figure 12 analysis.
+func (p *Prepared) SVMCoefficients(ratio float64, seed int64) ([]float64, error) {
+	svm := ml.NewSVM(seed)
+	train := ml.Undersample(&ml.Dataset{X: p.TrainX, Y: p.TrainY}, ratio, seed)
+	if train.CountClass(1) == 0 {
+		return nil, fmt.Errorf("classify: no positive training pairs in sample")
+	}
+	if err := svm.Fit(train); err != nil {
+		return nil, err
+	}
+	w := svm.Weights()
+	sum := 0.0
+	for i := range w {
+		if w[i] < 0 {
+			w[i] = -w[i]
+		}
+		sum += w[i]
+	}
+	if sum > 0 {
+		for i := range w {
+			w[i] /= sum
+		}
+	}
+	return w, nil
+}
+
+// EvaluateMetric scores the test pairs with a single metric-based algorithm
+// on the same sampled universe (the Figure 11 comparison).
+func (p *Prepared) EvaluateMetric(alg predict.Algorithm, opt predict.Options) Result {
+	scores := alg.ScorePairs(p.GTest, p.TestPairs, opt)
+	return p.scoreAndCount(scores, opt.Seed, nil)
+}
+
+// EvaluateMetricFiltered is EvaluateMetric with the temporal filter.
+func (p *Prepared) EvaluateMetricFiltered(alg predict.Algorithm, opt predict.Options, tk *temporal.Tracker, fc temporal.FilterConfig) Result {
+	scores := alg.ScorePairs(p.GTest, p.TestPairs, opt)
+	return p.scoreAndCount(scores, opt.Seed, func(pr predict.Pair) bool {
+		return tk.Pass(p.GTest, pr.U, pr.V, p.TestTime, fc)
+	})
+}
+
+// EvaluateScores ranks externally computed scores for the test pairs (used
+// by the time-series methods of §6.3). keep may be nil.
+func (p *Prepared) EvaluateScores(scores []float64, seed int64, keep func(predict.Pair) bool) (Result, error) {
+	if len(scores) != len(p.TestPairs) {
+		return Result{}, fmt.Errorf("classify: %d scores for %d test pairs", len(scores), len(p.TestPairs))
+	}
+	return p.scoreAndCount(scores, seed, keep), nil
+}
+
+// FilterKeep returns a keep-function for EvaluateScores backed by the
+// temporal filter.
+func (p *Prepared) FilterKeep(tk *temporal.Tracker, fc temporal.FilterConfig) func(predict.Pair) bool {
+	return func(pr predict.Pair) bool {
+		return tk.Pass(p.GTest, pr.U, pr.V, p.TestTime, fc)
+	}
+}

@@ -1,0 +1,207 @@
+package classify
+
+import (
+	"testing"
+
+	"linkpred/internal/gen"
+	"linkpred/internal/graph"
+	"linkpred/internal/ml"
+	"linkpred/internal/predict"
+	"linkpred/internal/temporal"
+)
+
+func TestSnowball(t *testing.T) {
+	// Path graph 0-1-2-3-4 plus isolated component 5-6.
+	g := graph.Build(7, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 5, V: 6},
+	})
+	s := Snowball(g, 3, 1)
+	if len(s) != 3 {
+		t.Fatalf("sample = %v", s)
+	}
+	// BFS from 1 reaches 1, then 0 and 2.
+	want := []graph.NodeID{0, 1, 2}
+	for i, v := range want {
+		if s[i] != v {
+			t.Fatalf("sample = %v, want %v", s, want)
+		}
+	}
+	// Component exhaustion: target 7 must restart and cover everything.
+	all := Snowball(g, 7, 1)
+	if len(all) != 7 {
+		t.Fatalf("full sample = %v", all)
+	}
+	// Oversized target clamps.
+	if got := Snowball(g, 100, 0); len(got) != 7 {
+		t.Fatalf("clamped sample = %v", got)
+	}
+	if got := Snowball(g, 0, 0); got != nil {
+		t.Fatalf("zero target = %v", got)
+	}
+	// Deterministic.
+	a, b := Snowball(g, 4, 2), Snowball(g, 4, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("snowball not deterministic")
+		}
+	}
+}
+
+// prepFixture builds a small prepared instance from a generated trace.
+func prepFixture(t *testing.T, sample int) (*Prepared, *graph.Trace) {
+	t.Helper()
+	cfg := gen.Renren(31).Scaled(0.12)
+	tr := gen.MustGenerate(cfg)
+	cuts := tr.Cuts(gen.DefaultDelta(cfg))
+	if len(cuts) < 3 {
+		t.Fatal("fixture trace too small")
+	}
+	i := len(cuts) - 3
+	opt := predict.DefaultOptions()
+	p, err := Prepare(tr, cuts[i], cuts[i+1], cuts[i+2], sample, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, tr
+}
+
+func TestPrepareShapes(t *testing.T) {
+	p, _ := prepFixture(t, 120)
+	if len(p.TrainPairs) == 0 || len(p.TestPairs) == 0 {
+		t.Fatal("empty pair sets")
+	}
+	if len(p.TrainX) != len(p.TrainPairs) || len(p.TrainY) != len(p.TrainPairs) {
+		t.Fatalf("train shapes: %d pairs, %d X, %d Y", len(p.TrainPairs), len(p.TrainX), len(p.TrainY))
+	}
+	if len(p.TestX) != len(p.TestPairs) {
+		t.Fatalf("test shapes: %d pairs, %d X", len(p.TestPairs), len(p.TestX))
+	}
+	if len(p.FeatureNames) != 14 {
+		t.Fatalf("feature names = %v", p.FeatureNames)
+	}
+	if got := len(p.TrainX[0]); got != 14 {
+		t.Fatalf("feature width = %d", got)
+	}
+	if p.K != len(p.TruthTest) {
+		t.Fatalf("K = %d, truth = %d", p.K, len(p.TruthTest))
+	}
+	// Labels must have at least one positive for training to make sense;
+	// this is a property of the sampled fixture.
+	pos := 0
+	for _, y := range p.TrainY {
+		pos += y
+	}
+	if pos == 0 {
+		t.Fatal("fixture has no positive training pairs; enlarge sample")
+	}
+	// Train pairs are unconnected in GTrain.
+	for _, pr := range p.TrainPairs[:50] {
+		if p.GTrain.HasEdge(pr.U, pr.V) {
+			t.Fatalf("train pair %+v connected in GTrain", pr)
+		}
+	}
+}
+
+func TestEvaluateClassifierBeatsRandom(t *testing.T) {
+	p, _ := prepFixture(t, 150)
+	if p.K == 0 {
+		t.Skip("no ground truth edges in sampled universe")
+	}
+	res, err := p.EvaluateClassifier(ml.NewSVM(1), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != p.K {
+		t.Errorf("result K = %d, want %d", res.K, p.K)
+	}
+	// SVM should clearly beat random (ratio >> 1) on a triadic-closure
+	// dominated network.
+	if res.Ratio <= 1 {
+		t.Errorf("SVM accuracy ratio = %v, want > 1", res.Ratio)
+	}
+	if res.Correct < 0 || res.Correct > res.K {
+		t.Errorf("correct = %d out of k = %d", res.Correct, res.K)
+	}
+}
+
+func TestEvaluateMetricConsistency(t *testing.T) {
+	p, _ := prepFixture(t, 150)
+	if p.K == 0 {
+		t.Skip("no ground truth edges in sampled universe")
+	}
+	opt := predict.DefaultOptions()
+	res := p.EvaluateMetric(predict.BRA, opt)
+	if res.Ratio <= 1 {
+		t.Errorf("BRA on sample ratio = %v, want > 1", res.Ratio)
+	}
+	// Determinism.
+	res2 := p.EvaluateMetric(predict.BRA, opt)
+	if res != res2 {
+		t.Errorf("metric evaluation not deterministic: %+v vs %+v", res, res2)
+	}
+}
+
+func TestSVMCoefficients(t *testing.T) {
+	p, _ := prepFixture(t, 150)
+	w, err := p.SVMCoefficients(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != len(p.FeatureNames) {
+		t.Fatalf("got %d coefficients", len(w))
+	}
+	sum := 0.0
+	for _, v := range w {
+		if v < 0 {
+			t.Errorf("coefficient %v negative after normalization", v)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("coefficients sum to %v, want 1", sum)
+	}
+}
+
+func TestEvaluateScoresAndFilter(t *testing.T) {
+	p, tr := prepFixture(t, 150)
+	if p.K == 0 {
+		t.Skip("no ground truth edges in sampled universe")
+	}
+	// Perfect oracle scores: rank truth pairs on top → ratio is maximal.
+	scores := make([]float64, len(p.TestPairs))
+	for i, pr := range p.TestPairs {
+		if p.TruthTest[pr.Key()] {
+			scores[i] = 1
+		}
+	}
+	res, err := p.EvaluateScores(scores, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Correct != p.K {
+		t.Errorf("oracle correct = %d, want %d", res.Correct, p.K)
+	}
+	if _, err := p.EvaluateScores(scores[:1], 1, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Filtered evaluation keeps only passing pairs.
+	tk := temporal.NewTracker(tr)
+	fc := temporal.ConfigFor("renren")
+	keep := p.FilterKeep(tk, fc)
+	fres, err := p.EvaluateScores(scores, 1, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.Correct > res.Correct {
+		t.Errorf("filtered oracle cannot beat oracle: %d > %d", fres.Correct, res.Correct)
+	}
+}
+
+func TestPrepareRejectsBadCuts(t *testing.T) {
+	cfg := gen.Facebook(1).Scaled(0.1)
+	tr := gen.MustGenerate(cfg)
+	cuts := tr.Cuts(gen.DefaultDelta(cfg))
+	if _, err := Prepare(tr, cuts[2], cuts[1], cuts[3], 50, 0, predict.DefaultOptions()); err == nil {
+		t.Error("non-increasing cuts accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package community
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"linkpred/internal/graph"
+	"linkpred/internal/predict"
+)
+
+// twoBlocks builds two dense communities joined by a single bridge edge.
+func twoBlocks(seed int64, size int, p float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for b := 0; b < 2; b++ {
+		base := graph.NodeID(b * size)
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if rng.Float64() < p {
+					edges = append(edges, graph.Edge{U: base + graph.NodeID(i), V: base + graph.NodeID(j)})
+				}
+			}
+		}
+	}
+	edges = append(edges, graph.Edge{U: 0, V: graph.NodeID(size)})
+	return graph.Build(2*size, edges)
+}
+
+func TestDetectTwoBlocks(t *testing.T) {
+	g := twoBlocks(1, 20, 0.6)
+	labels := Detect(g, 20, 1)
+	// All nodes of block 0 should share a label; likewise block 1; and the
+	// labels should differ.
+	l0 := labels.Of[1]
+	l1 := labels.Of[21]
+	if l0 == l1 {
+		t.Fatalf("blocks merged into one community")
+	}
+	for v := 1; v < 20; v++ {
+		if labels.Of[v] != l0 {
+			t.Errorf("node %d: label %d, want %d", v, labels.Of[v], l0)
+		}
+	}
+	for v := 21; v < 40; v++ {
+		if labels.Of[v] != l1 {
+			t.Errorf("node %d: label %d, want %d", v, labels.Of[v], l1)
+		}
+	}
+	if q := Modularity(g, labels); q < 0.3 {
+		t.Errorf("modularity = %v, want >= 0.3 for planted blocks", q)
+	}
+	sizes := labels.Sizes()
+	if sizes[0] < 19 || sizes[0] > 21 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	g := twoBlocks(3, 15, 0.5)
+	a := Detect(g, 20, 7)
+	b := Detect(g, 20, 7)
+	for i := range a.Of {
+		if a.Of[i] != b.Of[i] {
+			t.Fatal("label propagation not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestDetectIsolated(t *testing.T) {
+	g := graph.Build(4, []graph.Edge{{U: 0, V: 1}})
+	labels := Detect(g, 10, 1)
+	if labels.Of[2] == labels.Of[0] || labels.Of[3] == labels.Of[0] {
+		t.Errorf("isolated nodes joined a community: %v", labels.Of)
+	}
+	if labels.Of[0] != labels.Of[1] {
+		t.Errorf("connected pair split: %v", labels.Of)
+	}
+}
+
+func TestModularityBounds(t *testing.T) {
+	// Random labels on a random graph: modularity near 0; valid range.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(30)
+		var edges []graph.Edge
+		for i := 0; i < 3*n; i++ {
+			edges = append(edges, graph.Edge{U: graph.NodeID(rng.Intn(n)), V: graph.NodeID(rng.Intn(n))})
+		}
+		g := graph.Build(n, edges)
+		labels := Detect(g, 8, seed)
+		q := Modularity(g, labels)
+		return q >= -1 && q <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if q := Modularity(graph.Build(3, nil), Labels{Of: []int32{0, 1, 2}, Count: 3}); q != 0 {
+		t.Errorf("empty-graph modularity = %v", q)
+	}
+}
+
+func TestSBMPredictsWithinBlocks(t *testing.T) {
+	g := twoBlocks(5, 20, 0.55)
+	opt := predict.DefaultOptions()
+	k := 30
+	pred := SBM.Predict(g, k, opt)
+	if len(pred) == 0 {
+		t.Fatal("no predictions")
+	}
+	within := 0
+	for _, p := range pred {
+		if g.HasEdge(p.U, p.V) {
+			t.Fatalf("predicted existing edge %+v", p)
+		}
+		if (p.U < 20) == (p.V < 20) {
+			within++
+		}
+	}
+	if within*10 < len(pred)*9 {
+		t.Errorf("only %d/%d predictions within blocks", within, len(pred))
+	}
+	// Determinism.
+	again := SBM.Predict(g, k, opt)
+	for i := range pred {
+		if pred[i] != again[i] {
+			t.Fatal("SBM not deterministic")
+		}
+	}
+}
+
+func TestSBMScorePairs(t *testing.T) {
+	g := twoBlocks(7, 20, 0.55)
+	opt := predict.DefaultOptions()
+	pairs := []predict.Pair{
+		{U: 1, V: 3},  // within block 0
+		{U: 1, V: 25}, // across blocks
+	}
+	scores := SBM.ScorePairs(g, pairs, opt)
+	if scores[0] <= scores[1] {
+		t.Fatalf("within-block score %v <= cross-block %v", scores[0], scores[1])
+	}
+}
+
+func TestTwoHopPairsMatchesDefinition(t *testing.T) {
+	g := graph.Build(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	got := map[uint64]bool{}
+	TwoHopPairs(g, func(u, v graph.NodeID) { got[predict.PairKey(u, v)] = true })
+	want := []uint64{predict.PairKey(0, 2), predict.PairKey(1, 3)}
+	if len(got) != len(want) {
+		t.Fatalf("pairs = %v", got)
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing pair %d", w)
+		}
+	}
+}

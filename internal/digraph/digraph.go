@@ -1,0 +1,312 @@
+// Package digraph extends the toolkit to directed link prediction, the
+// first item in the paper's future work (§7, citing Yin/Hong/Davison's
+// structural link analysis in microblogs [43]). The synthetic traces are
+// naturally directed — Edge.U is the initiator (follower) and Edge.V the
+// target (followee) — so the directed variants of the neighborhood metrics
+// can be evaluated on the same data.
+package digraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"linkpred/internal/graph"
+	"linkpred/internal/predict"
+)
+
+// DiGraph is an immutable directed snapshot with sorted out- and in-
+// adjacency.
+type DiGraph struct {
+	out, in [][]graph.NodeID
+	arcs    int
+}
+
+// Build constructs a directed snapshot from arcs U→V over n nodes.
+// Duplicate arcs and self loops are dropped; the reverse arc is a distinct
+// arc.
+func Build(n int, edges []graph.Edge) *DiGraph {
+	d := &DiGraph{out: make([][]graph.NodeID, n), in: make([][]graph.NodeID, n)}
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		d.out[e.U] = append(d.out[e.U], e.V)
+		d.in[e.V] = append(d.in[e.V], e.U)
+	}
+	dedupe := func(adj [][]graph.NodeID) int {
+		total := 0
+		for i, a := range adj {
+			sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+			w := 0
+			for j := range a {
+				if j == 0 || a[j] != a[j-1] {
+					a[w] = a[j]
+					w++
+				}
+			}
+			adj[i] = a[:w]
+			total += w
+		}
+		return total
+	}
+	d.arcs = dedupe(d.out)
+	dedupe(d.in)
+	return d
+}
+
+// FromTrace builds the directed snapshot of the first m arcs of a trace.
+func FromTrace(tr *graph.Trace, m int) *DiGraph {
+	if m > len(tr.Edges) {
+		m = len(tr.Edges)
+	}
+	var tm int64
+	if m > 0 {
+		tm = tr.Edges[m-1].Time
+	}
+	n := 0
+	for n < tr.NumNodes() && tr.Arrival[n] <= tm {
+		n++
+	}
+	return Build(n, tr.Edges[:m])
+}
+
+// NumNodes returns the node count.
+func (d *DiGraph) NumNodes() int { return len(d.out) }
+
+// NumArcs returns the directed edge count.
+func (d *DiGraph) NumArcs() int { return d.arcs }
+
+// OutDegree and InDegree return the respective degrees of u.
+func (d *DiGraph) OutDegree(u graph.NodeID) int { return len(d.out[u]) }
+
+// InDegree returns the in-degree of u.
+func (d *DiGraph) InDegree(u graph.NodeID) int { return len(d.in[u]) }
+
+// Out returns the sorted out-neighbors (shared slice; do not modify).
+func (d *DiGraph) Out(u graph.NodeID) []graph.NodeID { return d.out[u] }
+
+// In returns the sorted in-neighbors (shared slice; do not modify).
+func (d *DiGraph) In(u graph.NodeID) []graph.NodeID { return d.in[u] }
+
+// HasArc reports whether u→v exists.
+func (d *DiGraph) HasArc(u, v graph.NodeID) bool {
+	a := d.out[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}
+
+// Arc is a scored directed candidate.
+type Arc struct {
+	From, To graph.NodeID
+	Score    float64
+}
+
+// Scorer is a directed link prediction metric.
+type Scorer interface {
+	Name() string
+	// Score rates the arc u→v.
+	Score(d *DiGraph, u, v graph.NodeID) float64
+}
+
+// sortedIntersectionCount counts common elements of two sorted slices.
+func sortedIntersectionCount(a, b []graph.NodeID) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// sortedIntersection returns the common elements of two sorted slices.
+func sortedIntersection(a, b []graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// The directed metric catalogue.
+
+// TransitiveCN counts length-2 directed paths u→w→v (|Γout(u) ∩ Γin(v)|),
+// the directed analogue of Common Neighbors.
+type TransitiveCN struct{}
+
+// Name implements Scorer.
+func (TransitiveCN) Name() string { return "DCN" }
+
+// Score implements Scorer.
+func (TransitiveCN) Score(d *DiGraph, u, v graph.NodeID) float64 {
+	return float64(sortedIntersectionCount(d.out[u], d.in[v]))
+}
+
+// TransitiveAA is the directed Adamic/Adar: intermediate hubs on u→w→v
+// paths are discounted by their total degree.
+type TransitiveAA struct{}
+
+// Name implements Scorer.
+func (TransitiveAA) Name() string { return "DAA" }
+
+// Score implements Scorer.
+func (TransitiveAA) Score(d *DiGraph, u, v graph.NodeID) float64 {
+	s := 0.0
+	for _, w := range sortedIntersection(d.out[u], d.in[v]) {
+		deg := float64(d.OutDegree(w) + d.InDegree(w))
+		if deg < 2 {
+			deg = 2
+		}
+		s += 1 / math.Log(deg)
+	}
+	return s
+}
+
+// Reciprocity predicts follow-backs: u→v is likely when v→u exists (the
+// dominant microblog link creation mechanism in [43]). Secondary signal:
+// shared audience.
+type Reciprocity struct{}
+
+// Name implements Scorer.
+func (Reciprocity) Name() string { return "Recip" }
+
+// Score implements Scorer.
+func (Reciprocity) Score(d *DiGraph, u, v graph.NodeID) float64 {
+	s := 0.0
+	if d.HasArc(v, u) {
+		s = 1
+	}
+	// Shared-audience tiebreak, scaled below the reciprocity signal.
+	shared := sortedIntersectionCount(d.in[u], d.in[v])
+	return s + float64(shared)/(1+float64(shared))*0.5
+}
+
+// DirectedPA scores by out-degree of the source times in-degree of the
+// target: active followers attach to popular followees.
+type DirectedPA struct{}
+
+// Name implements Scorer.
+func (DirectedPA) Name() string { return "DPA" }
+
+// Score implements Scorer.
+func (DirectedPA) Score(d *DiGraph, u, v graph.NodeID) float64 {
+	return float64(d.OutDegree(u)) * float64(d.InDegree(v))
+}
+
+// Scorers returns the directed metric catalogue.
+func Scorers() []Scorer {
+	return []Scorer{TransitiveCN{}, TransitiveAA{}, Reciprocity{}, DirectedPA{}}
+}
+
+// PredictArcs returns the top-k directed candidates of a scorer. The
+// candidate set is every non-arc (u, v) pair reachable by a directed 2-path
+// u→w→v plus every unreciprocated arc's reverse — the support sets of the
+// catalogue metrics. Tie-breaking matches the undirected machinery.
+func PredictArcs(d *DiGraph, s Scorer, k int, seed int64) []Arc {
+	type cand struct{ u, v graph.NodeID }
+	seen := map[uint64]bool{}
+	var cands []cand
+	add := func(u, v graph.NodeID) {
+		if u == v || d.HasArc(u, v) {
+			return
+		}
+		key := uint64(uint32(u))<<32 | uint64(uint32(v))
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		cands = append(cands, cand{u, v})
+	}
+	n := d.NumNodes()
+	for u := 0; u < n; u++ {
+		uid := graph.NodeID(u)
+		for _, w := range d.out[uid] {
+			for _, v := range d.out[w] {
+				add(uid, v)
+			}
+		}
+		// Reverse of unreciprocated incoming arcs.
+		for _, w := range d.in[uid] {
+			add(uid, w)
+		}
+	}
+	top := predict.NewRanker(k, seed)
+	scores := map[uint64]float64{}
+	for _, c := range cands {
+		sc := s.Score(d, c.u, c.v)
+		// Encode direction in the ranker by keying on the ordered pair; the
+		// ranker canonicalizes (u,v), so disambiguate via the score map.
+		key := uint64(uint32(c.u))<<32 | uint64(uint32(c.v))
+		scores[key] = sc
+		top.Add(c.u, c.v, sc)
+	}
+	// Recover direction: the ranker returns canonical pairs; emit the
+	// direction(s) that were actually scored, preferring the higher score.
+	var out []Arc
+	for _, p := range top.Result() {
+		fwd := uint64(uint32(p.U))<<32 | uint64(uint32(p.V))
+		rev := uint64(uint32(p.V))<<32 | uint64(uint32(p.U))
+		sf, okF := scores[fwd]
+		sr, okR := scores[rev]
+		switch {
+		case okF && (!okR || sf >= sr):
+			out = append(out, Arc{From: p.U, To: p.V, Score: sf})
+		case okR:
+			out = append(out, Arc{From: p.V, To: p.U, Score: sr})
+		}
+	}
+	return out
+}
+
+// Evaluate runs directed prediction on the trace's m-arc snapshot against
+// the following delta arcs, returning hits and the random-baseline ratio.
+func Evaluate(tr *graph.Trace, m, delta, k int, s Scorer, seed int64) (hits int, ratio float64, err error) {
+	if m <= 0 || m+delta > len(tr.Edges) {
+		return 0, 0, fmt.Errorf("digraph: window [%d, %d) out of range", m, m+delta)
+	}
+	d := FromTrace(tr, m)
+	truth := map[uint64]bool{}
+	n := graph.NodeID(d.NumNodes())
+	for _, e := range tr.Edges[m : m+delta] {
+		if e.U < n && e.V < n && !d.HasArc(e.U, e.V) {
+			truth[uint64(uint32(e.U))<<32|uint64(uint32(e.V))] = true
+		}
+	}
+	if len(truth) == 0 {
+		return 0, 0, fmt.Errorf("digraph: no directed ground truth in window")
+	}
+	if k <= 0 {
+		k = len(truth)
+	}
+	pred := PredictArcs(d, s, k, seed)
+	for _, a := range pred {
+		if truth[uint64(uint32(a.From))<<32|uint64(uint32(a.To))] {
+			hits++
+		}
+	}
+	// Random baseline over ordered non-arc pairs.
+	possible := float64(d.NumNodes())*float64(d.NumNodes()-1) - float64(d.NumArcs())
+	expected := float64(k) * float64(len(truth)) / possible
+	if expected > 0 {
+		ratio = float64(hits) / expected
+	}
+	return hits, ratio, nil
+}

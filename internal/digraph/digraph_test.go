@@ -1,0 +1,186 @@
+package digraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"linkpred/internal/gen"
+	"linkpred/internal/graph"
+)
+
+// fan is a small directed fixture: 0→1, 0→2, 1→3, 2→3, 3→0.
+func fan() *DiGraph {
+	return Build(4, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}, {U: 3, V: 0},
+	})
+}
+
+func TestBuildDirected(t *testing.T) {
+	d := fan()
+	if d.NumArcs() != 5 {
+		t.Fatalf("arcs = %d, want 5", d.NumArcs())
+	}
+	if !d.HasArc(0, 1) || d.HasArc(1, 0) {
+		t.Error("direction not preserved")
+	}
+	if d.OutDegree(0) != 2 || d.InDegree(0) != 1 {
+		t.Errorf("deg(0) = out %d in %d", d.OutDegree(0), d.InDegree(0))
+	}
+	if d.OutDegree(3) != 1 || d.InDegree(3) != 2 {
+		t.Errorf("deg(3) = out %d in %d", d.OutDegree(3), d.InDegree(3))
+	}
+	// Duplicates and self loops dropped.
+	d2 := Build(2, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 1}, {U: 1, V: 1}})
+	if d2.NumArcs() != 1 {
+		t.Errorf("arcs = %d, want 1", d2.NumArcs())
+	}
+}
+
+func TestDirectedScores(t *testing.T) {
+	d := fan()
+	// Arc 0→3: paths 0→1→3 and 0→2→3 → DCN = 2.
+	if got := (TransitiveCN{}).Score(d, 0, 3); got != 2 {
+		t.Errorf("DCN(0→3) = %v, want 2", got)
+	}
+	// Reverse direction 3→0 exists as an arc... score candidates only for
+	// non-arcs; score function itself: DCN(3→1): paths 3→0→1 → 1.
+	if got := (TransitiveCN{}).Score(d, 3, 1); got != 1 {
+		t.Errorf("DCN(3→1) = %v, want 1", got)
+	}
+	// DAA discounts by intermediate total degree: w=1 (deg 2), w=2 (deg 2).
+	want := 2 / math.Log(2)
+	if got := (TransitiveAA{}).Score(d, 0, 3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("DAA(0→3) = %v, want %v", got, want)
+	}
+	// Reciprocity: 0→3 where 3→0 exists → >= 1.
+	if got := (Reciprocity{}).Score(d, 0, 3); got < 1 {
+		t.Errorf("Recip(0→3) = %v, want >= 1", got)
+	}
+	if got := (Reciprocity{}).Score(d, 1, 2); got >= 1 {
+		t.Errorf("Recip(1→2) = %v, want < 1 (no reverse arc)", got)
+	}
+	// DPA: out(0)=2, in(3)=2.
+	if got := (DirectedPA{}).Score(d, 0, 3); got != 4 {
+		t.Errorf("DPA(0→3) = %v, want 4", got)
+	}
+}
+
+func TestPredictArcsContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var edges []graph.Edge
+	for i := 0; i < 200; i++ {
+		edges = append(edges, graph.Edge{U: graph.NodeID(rng.Intn(40)), V: graph.NodeID(rng.Intn(40))})
+	}
+	d := Build(40, edges)
+	for _, s := range Scorers() {
+		arcs := PredictArcs(d, s, 15, 1)
+		if len(arcs) == 0 {
+			t.Errorf("%s: no predictions", s.Name())
+		}
+		for _, a := range arcs {
+			if d.HasArc(a.From, a.To) {
+				t.Errorf("%s: predicted existing arc %d→%d", s.Name(), a.From, a.To)
+			}
+			if a.From == a.To {
+				t.Errorf("%s: self arc", s.Name())
+			}
+		}
+		again := PredictArcs(d, s, 15, 1)
+		for i := range arcs {
+			if arcs[i] != again[i] {
+				t.Errorf("%s: non-deterministic", s.Name())
+			}
+		}
+	}
+}
+
+func TestReciprocityTopsFollowbacks(t *testing.T) {
+	// Star of unreciprocated follows toward node 0: reciprocity should
+	// predict the follow-backs 0→i first.
+	var edges []graph.Edge
+	for i := 1; i <= 10; i++ {
+		edges = append(edges, graph.Edge{U: graph.NodeID(i), V: 0})
+	}
+	d := Build(11, edges)
+	arcs := PredictArcs(d, Reciprocity{}, 10, 1)
+	if len(arcs) != 10 {
+		t.Fatalf("got %d arcs", len(arcs))
+	}
+	for _, a := range arcs {
+		if a.From != 0 {
+			t.Errorf("expected follow-back from 0, got %d→%d", a.From, a.To)
+		}
+	}
+}
+
+func TestEvaluateOnTrace(t *testing.T) {
+	tr := gen.MustGenerate(gen.YouTube(13).Scaled(0.15))
+	m := tr.NumEdges() * 3 / 4
+	delta := tr.NumEdges() / 10
+	hits, ratio, err := Evaluate(tr, m, delta, 0, TransitiveCN{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits < 0 {
+		t.Fatalf("hits = %d", hits)
+	}
+	// Directed transitivity should beat random on the subscription trace.
+	if ratio <= 1 {
+		t.Errorf("DCN directed ratio = %v, want > 1", ratio)
+	}
+	if _, _, err := Evaluate(tr, 0, 10, 0, TransitiveCN{}, 1); err == nil {
+		t.Error("invalid window accepted")
+	}
+	if _, _, err := Evaluate(tr, tr.NumEdges(), 10, 0, TransitiveCN{}, 1); err == nil {
+		t.Error("overrunning window accepted")
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	tr := gen.MustGenerate(gen.Facebook(5).Scaled(0.05))
+	m := tr.NumEdges() / 2
+	d := FromTrace(tr, m)
+	if d.NumArcs() == 0 || d.NumArcs() > m {
+		t.Fatalf("arcs = %d for %d trace edges", d.NumArcs(), m)
+	}
+	full := FromTrace(tr, tr.NumEdges()+100)
+	if full.NumNodes() != tr.NumNodes() {
+		t.Errorf("clamped FromTrace nodes = %d", full.NumNodes())
+	}
+}
+
+// Property: every arc is counted once in out and once in in; degrees sum
+// equal; DCN is bounded by min(outdeg(u), indeg(v)).
+func TestDiGraphInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(25)
+		var edges []graph.Edge
+		for i := 0; i < 4*n; i++ {
+			edges = append(edges, graph.Edge{U: graph.NodeID(rng.Intn(n)), V: graph.NodeID(rng.Intn(n))})
+		}
+		d := Build(n, edges)
+		outSum, inSum := 0, 0
+		for u := 0; u < n; u++ {
+			outSum += d.OutDegree(graph.NodeID(u))
+			inSum += d.InDegree(graph.NodeID(u))
+		}
+		if outSum != inSum || outSum != d.NumArcs() {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			cn := (TransitiveCN{}).Score(d, u, v)
+			if cn > float64(min(d.OutDegree(u), d.InDegree(v))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package eval provides ranking-quality measures beyond the paper's
+// headline accuracy ratio: AUC (which §4.1 discusses and deliberately does
+// not use, because it scores the entire ranked list rather than the top k),
+// precision@k curves, and average precision. These make the toolkit usable
+// for studies that do want whole-list evaluation, and power the extended
+// analyses in the benchmark harness.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"linkpred/internal/predict"
+)
+
+// AUC computes the area under the ROC curve for scored items with binary
+// labels: the probability that a uniformly chosen positive outranks a
+// uniformly chosen negative, counting ties as one half (the standard
+// Mann-Whitney estimator, and the form used across the link prediction
+// literature [28]). Returns 0.5 when either class is empty.
+func AUC(scores []float64, labels []bool) float64 {
+	if len(scores) != len(labels) {
+		panic(fmt.Sprintf("eval: %d scores, %d labels", len(scores), len(labels)))
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	// Average ranks with tie groups sharing the mean rank.
+	ranks := make([]float64, len(scores))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		mean := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = mean
+		}
+		i = j
+	}
+	var rankSum float64
+	nPos, nNeg := 0, 0
+	for i, l := range labels {
+		if l {
+			nPos++
+			rankSum += ranks[i]
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	u := rankSum - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// RankLabels orders the labels of scored pairs best-first, breaking score
+// ties with the same deterministic hash the prediction top-k uses, so
+// precision curves are consistent with Predict's selections.
+func RankLabels(pairs []predict.Pair, scores []float64, truth map[uint64]bool, seed int64) []bool {
+	if len(pairs) != len(scores) {
+		panic(fmt.Sprintf("eval: %d pairs, %d scores", len(pairs), len(scores)))
+	}
+	ranked := predict.NewRanker(len(pairs), seed)
+	for i, p := range pairs {
+		ranked.Add(p.U, p.V, scores[i])
+	}
+	out := make([]bool, 0, len(pairs))
+	for _, p := range ranked.Result() {
+		out = append(out, truth[p.Key()])
+	}
+	return out
+}
+
+// PrecisionAtK returns precision of the first k ranked labels for each
+// requested k (clamped to the list length).
+func PrecisionAtK(ranked []bool, ks []int) []float64 {
+	out := make([]float64, len(ks))
+	// Prefix sums of hits.
+	hits := make([]int, len(ranked)+1)
+	for i, l := range ranked {
+		hits[i+1] = hits[i]
+		if l {
+			hits[i+1]++
+		}
+	}
+	for i, k := range ks {
+		if k <= 0 {
+			continue
+		}
+		if k > len(ranked) {
+			k = len(ranked)
+		}
+		if k > 0 {
+			out[i] = float64(hits[k]) / float64(k)
+		}
+	}
+	return out
+}
+
+// AveragePrecision is the mean of precision@rank over the ranks of the
+// positive items (area under the precision-recall curve for a ranking).
+// Returns 0 when there are no positives.
+func AveragePrecision(ranked []bool) float64 {
+	hits := 0
+	var sum float64
+	for i, l := range ranked {
+		if l {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	if hits == 0 {
+		return 0
+	}
+	return sum / float64(hits)
+}
+
+// RecallAtK returns, for each k, the fraction of all positives found in the
+// first k ranked items.
+func RecallAtK(ranked []bool, ks []int) []float64 {
+	total := 0
+	for _, l := range ranked {
+		if l {
+			total++
+		}
+	}
+	out := make([]float64, len(ks))
+	if total == 0 {
+		return out
+	}
+	hits := make([]int, len(ranked)+1)
+	for i, l := range ranked {
+		hits[i+1] = hits[i]
+		if l {
+			hits[i+1]++
+		}
+	}
+	for i, k := range ks {
+		if k <= 0 {
+			continue
+		}
+		if k > len(ranked) {
+			k = len(ranked)
+		}
+		out[i] = float64(hits[k]) / float64(total)
+	}
+	return out
+}

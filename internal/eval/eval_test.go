@@ -1,0 +1,156 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"linkpred/internal/predict"
+)
+
+func TestAUCPerfect(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	if got := AUC(scores, labels); got != 1 {
+		t.Fatalf("AUC = %v, want 1", got)
+	}
+	// Inverted ranking.
+	if got := AUC(scores, []bool{false, false, true, true}); got != 0 {
+		t.Fatalf("inverted AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCTies(t *testing.T) {
+	// All scores equal → AUC is exactly 0.5 by the tie convention.
+	scores := []float64{1, 1, 1, 1}
+	labels := []bool{true, false, true, false}
+	if got := AUC(scores, labels); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if got := AUC([]float64{1, 2}, []bool{true, true}); got != 0.5 {
+		t.Fatalf("single-class AUC = %v, want 0.5", got)
+	}
+	if got := AUC(nil, nil); got != 0.5 {
+		t.Fatalf("empty AUC = %v, want 0.5", got)
+	}
+}
+
+// Property: AUC equals the direct pair-counting definition on random data.
+func TestAUCMatchesPairCountQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(8)) // small range to force ties
+			labels[i] = rng.Intn(2) == 0
+		}
+		var wins, total float64
+		for i := range scores {
+			if !labels[i] {
+				continue
+			}
+			for j := range scores {
+				if labels[j] {
+					continue
+				}
+				total++
+				switch {
+				case scores[i] > scores[j]:
+					wins++
+				case scores[i] == scores[j]:
+					wins += 0.5
+				}
+			}
+		}
+		want := 0.5
+		if total > 0 {
+			want = wins / total
+		}
+		return math.Abs(AUC(scores, labels)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	ranked := []bool{true, false, true, false, false}
+	got := PrecisionAtK(ranked, []int{1, 2, 3, 100, 0})
+	want := []float64{1, 0.5, 2.0 / 3.0, 2.0 / 5.0, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("precision = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRecallAtK(t *testing.T) {
+	ranked := []bool{true, false, true, false}
+	got := RecallAtK(ranked, []int{1, 3, 4})
+	want := []float64{0.5, 1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("recall = %v, want %v", got, want)
+		}
+	}
+	if z := RecallAtK([]bool{false}, []int{1}); z[0] != 0 {
+		t.Fatalf("no-positive recall = %v", z)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	// Positives at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+	ranked := []bool{true, false, true}
+	want := (1.0 + 2.0/3.0) / 2
+	if got := AveragePrecision(ranked); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AP = %v, want %v", got, want)
+	}
+	if got := AveragePrecision([]bool{false, false}); got != 0 {
+		t.Fatalf("no-positive AP = %v", got)
+	}
+	if got := AveragePrecision([]bool{true, true}); got != 1 {
+		t.Fatalf("perfect AP = %v", got)
+	}
+}
+
+func TestRankLabels(t *testing.T) {
+	pairs := []predict.Pair{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}}
+	scores := []float64{0.1, 0.9, 0.5}
+	truth := map[uint64]bool{predict.PairKey(0, 2): true}
+	ranked := RankLabels(pairs, scores, truth, 1)
+	if len(ranked) != 3 || !ranked[0] || ranked[1] || ranked[2] {
+		t.Fatalf("ranked = %v", ranked)
+	}
+}
+
+// Property: AP and precision@k stay within [0,1]; AUC in [0,1].
+func TestBoundsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		ranked := make([]bool, n)
+		scores := make([]float64, n)
+		for i := range ranked {
+			ranked[i] = rng.Intn(3) == 0
+			scores[i] = rng.NormFloat64()
+		}
+		ap := AveragePrecision(ranked)
+		auc := AUC(scores, ranked)
+		p := PrecisionAtK(ranked, []int{1, n / 2, n})
+		for _, v := range append(p, ap, auc) {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

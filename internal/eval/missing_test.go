@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"testing"
+
+	"linkpred/internal/gen"
+	"linkpred/internal/predict"
+)
+
+func TestHideEdges(t *testing.T) {
+	tr := gen.MustGenerate(gen.Renren(3).Scaled(0.05))
+	g := tr.SnapshotAtEdge(tr.NumEdges())
+	reduced, hidden, err := HideEdges(g, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.NumEdges()+len(hidden) != g.NumEdges() {
+		t.Fatalf("edge conservation: %d + %d != %d", reduced.NumEdges(), len(hidden), g.NumEdges())
+	}
+	want := int(0.1 * float64(g.NumEdges()))
+	if len(hidden) != want {
+		t.Fatalf("hidden = %d, want %d", len(hidden), want)
+	}
+	for _, p := range hidden {
+		if !g.HasEdge(p.U, p.V) {
+			t.Errorf("hidden pair %+v was never an edge", p)
+		}
+		if reduced.HasEdge(p.U, p.V) {
+			t.Errorf("hidden pair %+v still present", p)
+		}
+	}
+	// Determinism.
+	_, hidden2, err := HideEdges(g, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hidden {
+		if hidden[i] != hidden2[i] {
+			t.Fatal("HideEdges not deterministic")
+		}
+	}
+}
+
+func TestHideEdgesErrors(t *testing.T) {
+	tr := gen.MustGenerate(gen.Renren(3).Scaled(0.05))
+	g := tr.SnapshotAtEdge(tr.NumEdges())
+	for _, frac := range []float64{0, 1, -0.5, 2} {
+		if _, _, err := HideEdges(g, frac, 1); err == nil {
+			t.Errorf("frac %v accepted", frac)
+		}
+	}
+}
+
+func TestDetectMissingBeatsRandom(t *testing.T) {
+	tr := gen.MustGenerate(gen.Renren(9).Scaled(0.08))
+	g := tr.SnapshotAtEdge(tr.NumEdges())
+	opt := predict.DefaultOptions()
+	res, err := DetectMissing(g, predict.AA, 0.1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hidden == 0 {
+		t.Fatal("nothing hidden")
+	}
+	// Missing-link detection is much easier than future prediction: hidden
+	// edges leave their neighborhoods behind. AA must crush random and
+	// produce a strong AUC.
+	if res.Ratio < 5 {
+		t.Errorf("AA missing-link ratio = %v, want >= 5", res.Ratio)
+	}
+	if res.AUC < 0.7 {
+		t.Errorf("AA missing-link AUC = %v, want >= 0.7", res.AUC)
+	}
+	if res.Recovered > res.Hidden {
+		t.Errorf("recovered %d > hidden %d", res.Recovered, res.Hidden)
+	}
+}

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable6(t *testing.T) {
+	c, ns := nets(t)
+	rows := Table6(c, ns)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 networks x 2 sizes)", len(rows))
+	}
+	bySize := map[string]map[string]Table6Row{}
+	for _, r := range rows {
+		if bySize[r.Network] == nil {
+			bySize[r.Network] = map[string]Table6Row{}
+		}
+		bySize[r.Network][r.Size] = r
+		if r.TestEdges < r.TrainEdges {
+			t.Errorf("%s/%s: test smaller than train: %+v", r.Network, r.Size, r)
+		}
+	}
+	for net, m := range bySize {
+		if m["large"].TrainEdges <= m["small"].TrainEdges {
+			t.Errorf("%s: large instance not larger than small", net)
+		}
+	}
+}
+
+func TestFigure9(t *testing.T) {
+	c, ns := nets(t)
+	rows, err := Figure9(c, byName(ns, "facebook"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 4 classifiers x 2 thetas", len(rows))
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.Ratio.Mean) || r.Ratio.Mean < 0 {
+			t.Errorf("%s θ=%v: ratio %+v", r.Classifier, r.Theta, r.Ratio)
+		}
+	}
+	// At least one classifier beats random at some θ.
+	best := 0.0
+	for _, r := range rows {
+		best = math.Max(best, r.Ratio.Mean)
+	}
+	if best <= 1 {
+		t.Errorf("no classifier beat random: best = %v", best)
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	c, ns := nets(t)
+	rows, err := Figure10(c, ns[:1]) // facebook only, to bound runtime
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ThetaSweep()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.Ratio.Mean) || r.Ratio.Mean < 0 || r.Ratio.Std < 0 {
+			t.Errorf("θ=%v: %+v", r.Theta, r.Ratio)
+		}
+	}
+}
+
+func TestFigure11SVMCompetitive(t *testing.T) {
+	c, ns := nets(t)
+	rr := byName(ns, "renren")
+	rows, err := Figure11(c, []*Network{rr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d, want 14 metrics + SVM", len(rows))
+	}
+	// Rows are sorted ascending by mean ratio; the paper's claim is that
+	// SVM with a well-chosen θ performs as well as or better than the best
+	// metric. Require SVM within the top half and >= 60% of the best
+	// metric's ratio (sampling noise at test scale).
+	var svmRank = -1
+	var svmMean, bestMetric float64
+	for i, r := range rows {
+		if r.Method == "SVM" {
+			svmRank = i
+			svmMean = r.Ratio.Mean
+		} else {
+			bestMetric = math.Max(bestMetric, r.Ratio.Mean)
+		}
+	}
+	if svmRank < 0 {
+		t.Fatal("SVM row missing")
+	}
+	if svmRank < len(rows)/2 {
+		t.Errorf("SVM ranked %d of %d (ascending), want top half", svmRank, len(rows))
+	}
+	if svmMean < 0.6*bestMetric {
+		t.Errorf("SVM mean %v < 60%% of best metric %v", svmMean, bestMetric)
+	}
+}
+
+func TestFigure12(t *testing.T) {
+	c, ns := nets(t)
+	series, err := Figure12(c, []*Network{byName(ns, "renren")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("series = %d", len(series))
+	}
+	s := series[0]
+	if len(s.MetricRank) != 14 || len(s.Cumulative) != 14 {
+		t.Fatalf("lengths: %d ranks, %d cumulative", len(s.MetricRank), len(s.Cumulative))
+	}
+	prev := 0.0
+	for i, v := range s.Cumulative {
+		if v < prev-1e-9 {
+			t.Errorf("cumulative not monotone at %d: %v after %v", i, v, prev)
+		}
+		prev = v
+	}
+	if last := s.Cumulative[13]; math.Abs(last-1) > 1e-6 {
+		t.Errorf("total cumulative weight = %v, want 1", last)
+	}
+}
+
+func TestFigures13to15Separation(t *testing.T) {
+	c, ns := nets(t)
+	for _, cdfs := range Figures13to15(c, ns) {
+		// Positive pairs are more recently active (Fig. 13) and gained
+		// common neighbors more recently (Fig. 15) on every network.
+		if p, n := cdfs.PosActiveIdle.FractionBelow(3), cdfs.NegActiveIdle.FractionBelow(3); p <= n {
+			t.Errorf("%s: active idle separation pos %.3f <= neg %.3f", cdfs.Network, p, n)
+		}
+		if p, n := cdfs.PosCNGap.FractionBelow(10), cdfs.NegCNGap.FractionBelow(10); p <= n {
+			t.Errorf("%s: CN gap separation pos %.3f <= neg %.3f", cdfs.Network, p, n)
+		}
+		if p, n := 1-cdfs.PosNewEdges.FractionBelow(2.5), 1-cdfs.NegNewEdges.FractionBelow(2.5); p <= n {
+			t.Errorf("%s: new-edge separation pos %.3f <= neg %.3f", cdfs.Network, p, n)
+		}
+	}
+}
+
+func TestTable7(t *testing.T) {
+	_, ns := nets(t)
+	rows := Table7(ns)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Config.ActIdleDays <= 0 || r.Config.CNGapDays <= 0 {
+			t.Errorf("%s: zero thresholds %+v", r.Network, r.Config)
+		}
+	}
+}
+
+func TestTable8FiltersImprove(t *testing.T) {
+	c, ns := nets(t)
+	rows, err := Table8(c, []*Network{byName(ns, "renren")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Table8Metrics())+len(ThetaSweep()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	improved, total := 0, 0
+	var sum float64
+	for _, r := range rows {
+		if math.IsNaN(r.Improvement) {
+			t.Errorf("%s: NaN improvement", r.Method)
+		}
+		if r.Unfiltered > 0 {
+			total++
+			sum += r.Improvement
+			if r.Improvement >= 1 {
+				improved++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no method had nonzero unfiltered ratio")
+	}
+	// The paper's headline: filtering improves prediction across methods.
+	// Require improvement for a clear majority and on average.
+	if improved*3 < total*2 {
+		t.Errorf("only %d/%d methods improved by filtering", improved, total)
+	}
+	if sum/float64(total) <= 1 {
+		t.Errorf("mean improvement = %v, want > 1", sum/float64(total))
+	}
+}
+
+func TestFigure16FiltersBeatTimeModel(t *testing.T) {
+	c, ns := nets(t)
+	rows, err := Figure16(c, []*Network{byName(ns, "renren")}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Figure16Metrics()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	filterWins, combos := 0, 0
+	for _, r := range rows {
+		if math.IsNaN(r.Basic) || math.IsNaN(r.TimeModel) {
+			t.Errorf("%s: NaN entries %+v", r.Metric, r)
+		}
+		if r.Basic > 0 {
+			if r.BasicFiltered >= r.TimeModel {
+				filterWins++
+			}
+			if r.TimeModelFiltered >= r.TimeModel {
+				combos++
+			}
+		}
+	}
+	// Filtering should help at least as much as the MA time model for most
+	// metrics, and composing filter + time model should not hurt.
+	if filterWins*2 < len(rows) {
+		t.Errorf("filter beat the time model on only %d/%d metrics", filterWins, len(rows))
+	}
+	if combos*2 < len(rows) {
+		t.Errorf("filter improved the time model on only %d/%d metrics", combos, len(rows))
+	}
+}
+
+func TestExtrasMissingAndDirected(t *testing.T) {
+	c, ns := nets(t)
+	missing, err := MissingLinks(c, ns[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 4 {
+		t.Fatalf("missing rows = %d", len(missing))
+	}
+	for _, r := range missing {
+		if r.AUC < 0.5 {
+			t.Errorf("%s/%s: detection AUC %v below chance", r.Network, r.Alg, r.AUC)
+		}
+		if r.Ratio <= 1 {
+			t.Errorf("%s/%s: detection ratio %v", r.Network, r.Alg, r.Ratio)
+		}
+	}
+	directed, err := Directed(c, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(directed) != 12 {
+		t.Fatalf("directed rows = %d", len(directed))
+	}
+	// Direction makes the task strictly harder and friendship networks
+	// carry little directional signal at test scale; require only that the
+	// directed transitivity metric beats random on the densest network.
+	for _, r := range directed {
+		if r.Network == "renren" && r.Scorer == "DCN" && r.Ratio <= 1 {
+			t.Errorf("renren DCN directed ratio = %v, want > 1", r.Ratio)
+		}
+		if math.IsNaN(r.Ratio) || r.Ratio < 0 {
+			t.Errorf("%s/%s: bad ratio %v", r.Network, r.Scorer, r.Ratio)
+		}
+	}
+}
+
+func TestEnsembles(t *testing.T) {
+	c, ns := nets(t)
+	rows, err := Ensembles(c, byName(ns, "renren"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var svm, bestEnsemble float64
+	for _, r := range rows {
+		if math.IsNaN(r.Ratio.Mean) || r.Ratio.Mean < 0 {
+			t.Errorf("%s: ratio %+v", r.Method, r.Ratio)
+		}
+		if r.Method == "SVM" {
+			svm = r.Ratio.Mean
+		} else if r.Ratio.Mean > bestEnsemble {
+			bestEnsemble = r.Ratio.Mean
+		}
+	}
+	// The intro claim: larger ensembles do not produce *dramatic*
+	// improvements over the SVM. Allow noise but forbid an order of
+	// magnitude.
+	if svm > 0 && bestEnsemble > 10*svm {
+		t.Errorf("ensembles (%v) dwarf SVM (%v); intro claim violated", bestEnsemble, svm)
+	}
+}
+
+func TestConsistency(t *testing.T) {
+	c, ns := nets(t)
+	rows, err := Consistency(c, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.Spearman) || r.Spearman < -1 || r.Spearman > 1 {
+			t.Errorf("%s: Spearman %v", r.Network, r.Spearman)
+		}
+		if r.SmallTop == "" || r.LargeTop == "" {
+			t.Errorf("%s: missing top metrics", r.Network)
+		}
+	}
+	// The paper reports consistent small/large results at its scale; at
+	// test scale the sampled instances are quantization-dominated, so only
+	// validity is asserted here. EXPERIMENTS.md records the bench-scale
+	// correlation.
+}

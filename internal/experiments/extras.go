@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"linkpred/internal/analysis"
+	"linkpred/internal/digraph"
+	"linkpred/internal/eval"
+	"linkpred/internal/ml"
+	"linkpred/internal/predict"
+)
+
+// This file hosts the beyond-the-paper experiment runners: the missing-link
+// detection protocol §2 contrasts with future-link prediction, and the
+// directed prediction task from the paper's future work (§7). Both reuse
+// the same synthetic networks.
+
+// MissingRow is one hide-and-recover measurement.
+type MissingRow struct {
+	Network string
+	Alg     string
+	eval.MissingLinkResult
+}
+
+// MissingLinks runs the hide-10%-and-recover protocol for a representative
+// algorithm set on each network's final snapshot. The contrast with Table 4
+// (detection ≫ prediction accuracy) quantifies how much harder the paper's
+// forward-prediction task is.
+func MissingLinks(c Config, nets []*Network) ([]MissingRow, error) {
+	algs := []predict.Algorithm{predict.AA, predict.RA, predict.BRA, predict.KatzLR}
+	var rows []MissingRow
+	for _, n := range nets {
+		g := n.Trace.SnapshotAtEdge(n.Cuts[len(n.Cuts)-1].EdgeCount)
+		for _, alg := range algs {
+			res, err := eval.DetectMissing(g, alg, 0.1, c.Opt)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, MissingRow{Network: n.Cfg.Name, Alg: alg.Name(), MissingLinkResult: res})
+		}
+	}
+	return rows, nil
+}
+
+// DirectedRow is one directed-prediction measurement.
+type DirectedRow struct {
+	Network string
+	Scorer  string
+	Hits    int
+	Ratio   float64
+}
+
+// Directed evaluates the directed metric catalogue on the final delta-arc
+// window of each trace (arcs are initiator → target).
+func Directed(c Config, nets []*Network) ([]DirectedRow, error) {
+	var rows []DirectedRow
+	for _, n := range nets {
+		m := n.Trace.NumEdges() - n.Delta
+		for _, s := range digraph.Scorers() {
+			hits, ratio, err := digraph.Evaluate(n.Trace, m, n.Delta, 0, s, c.Seed)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, DirectedRow{Network: n.Cfg.Name, Scorer: s.Name(), Hits: hits, Ratio: ratio})
+		}
+	}
+	return rows, nil
+}
+
+// EnsembleRow is one ensemble-size comparison measurement.
+type EnsembleRow struct {
+	Network string
+	Method  string
+	Ratio   MeanStd
+}
+
+// Ensembles reproduces the introduction's claim that "more complex
+// techniques, e.g. larger ensemble methods do not produce noticeable
+// improvements in accuracy": it compares the SVM against random forests
+// and gradient-boosted ensembles of increasing size on the same instance.
+func Ensembles(c Config, n *Network) ([]EnsembleRow, error) {
+	preps, err := n.prepareSeeds(c, "large")
+	if err != nil {
+		return nil, err
+	}
+	type entry struct {
+		name string
+		make func(seed int64) ml.Classifier
+	}
+	entries := []entry{
+		{"SVM", func(seed int64) ml.Classifier { return ml.NewSVM(seed) }},
+		{"RF-20", func(seed int64) ml.Classifier { return ml.NewRandomForest(seed) }},
+		{"RF-80", func(seed int64) ml.Classifier {
+			rf := ml.NewRandomForest(seed)
+			rf.Trees = 80
+			return rf
+		}},
+		{"GBT-60", func(seed int64) ml.Classifier { return ml.NewGradientBoost(seed) }},
+		{"GBT-200", func(seed int64) ml.Classifier {
+			g := ml.NewGradientBoost(seed)
+			g.Trees = 200
+			return g
+		}},
+	}
+	theta := 100.0
+	var rows []EnsembleRow
+	for _, e := range entries {
+		var ratios []float64
+		for s, p := range preps {
+			res, err := p.EvaluateClassifier(e.make(int64(s+1)), theta, int64(s+1))
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, res.Ratio)
+		}
+		rows = append(rows, EnsembleRow{Network: n.Cfg.Name, Method: e.name, Ratio: meanStd(ratios)})
+	}
+	return rows, nil
+}
+
+// ConsistencyRow reports how consistently the metric-based algorithms rank
+// across a network's small and large classification instances.
+type ConsistencyRow struct {
+	Network string
+	// Spearman is the rank correlation of the 14 metrics' accuracy ratios
+	// between the two instances.
+	Spearman float64
+	// SmallTop and LargeTop are the best metric on each instance.
+	SmallTop, LargeTop string
+}
+
+// Consistency quantifies §5's "these instances produce highly consistent
+// results": the relative ordering of the similarity metrics should be
+// stable between the small and large instance of each network.
+func Consistency(c Config, nets []*Network) ([]ConsistencyRow, error) {
+	var rows []ConsistencyRow
+	for _, n := range nets {
+		ratios := map[string][]float64{}
+		tops := map[string]string{}
+		for _, size := range []string{"small", "large"} {
+			preps, err := n.prepareSeeds(c, size)
+			if err != nil {
+				return nil, err
+			}
+			var vec []float64
+			best, bestRatio := "", -1.0
+			for _, alg := range predict.FeatureSet() {
+				var rs []float64
+				for _, p := range preps {
+					rs = append(rs, p.EvaluateMetric(alg, c.Opt).Ratio)
+				}
+				m := meanStd(rs).Mean
+				vec = append(vec, m)
+				if m > bestRatio {
+					best, bestRatio = alg.Name(), m
+				}
+			}
+			ratios[size] = vec
+			tops[size] = best
+		}
+		rows = append(rows, ConsistencyRow{
+			Network:  n.Cfg.Name,
+			Spearman: analysis.Spearman(ratios["small"], ratios["large"]),
+			SmallTop: tops["small"],
+			LargeTop: tops["large"],
+		})
+	}
+	return rows, nil
+}

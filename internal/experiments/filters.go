@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+
+	"linkpred/internal/ml"
+	"linkpred/internal/predict"
+	"linkpred/internal/temporal"
+	"linkpred/internal/timeseries"
+)
+
+// TemporalCDFs carries the positive-versus-negative pair distributions of
+// Figures 13-15 for one network.
+type TemporalCDFs struct {
+	Network string
+	// ActiveIdle: idle time (days) of the more recently active endpoint.
+	PosActiveIdle, NegActiveIdle temporal.CDF
+	// InactiveIdle: the other endpoint.
+	PosInactiveIdle, NegInactiveIdle temporal.CDF
+	// NewEdges7d: edges created by the active endpoint in the past 7 days.
+	PosNewEdges, NegNewEdges temporal.CDF
+	// CNGap: common-neighbor time gap (days).
+	PosCNGap, NegCNGap temporal.CDF
+}
+
+// Figures13to15 measures the temporal separations between positive and
+// negative node pairs on each network's analysis transition.
+func Figures13to15(c Config, nets []*Network) []TemporalCDFs {
+	var out []TemporalCDFs
+	for _, n := range nets {
+		i := n.analysisTransition()
+		g := n.Trace.SnapshotAtEdge(n.Cuts[i].EdgeCount)
+		tm := n.Cuts[i].Time
+		newEdges := n.Trace.NewEdgesBetween(n.Cuts[i], n.Cuts[i+1])
+		pos, neg := temporal.PairSamples(g, newEdges, 5000, c.Seed)
+		tk := n.Tracker()
+		out = append(out, TemporalCDFs{
+			Network:         n.Cfg.Name,
+			PosActiveIdle:   temporal.NewCDF(tk.ActiveIdleDays(pos, tm)),
+			NegActiveIdle:   temporal.NewCDF(tk.ActiveIdleDays(neg, tm)),
+			PosInactiveIdle: temporal.NewCDF(tk.InactiveIdleDays(pos, tm)),
+			NegInactiveIdle: temporal.NewCDF(tk.InactiveIdleDays(neg, tm)),
+			PosNewEdges:     temporal.NewCDF(tk.ActiveNewEdgeCounts(pos, tm, 7)),
+			NegNewEdges:     temporal.NewCDF(tk.ActiveNewEdgeCounts(neg, tm, 7)),
+			PosCNGap:        temporal.NewCDF(tk.CNGaps(g, pos, tm)),
+			NegCNGap:        temporal.NewCDF(tk.CNGaps(g, neg, tm)),
+		})
+	}
+	return out
+}
+
+// Table7Row echoes the filter thresholds in use (Table 7).
+type Table7Row struct {
+	Network string
+	Config  temporal.FilterConfig
+}
+
+// Table7 lists the per-network temporal filter parameters.
+func Table7(nets []*Network) []Table7Row {
+	var rows []Table7Row
+	for _, n := range nets {
+		rows = append(rows, Table7Row{Network: n.Cfg.Name, Config: temporal.ConfigFor(n.Cfg.Name)})
+	}
+	return rows
+}
+
+// Table8Row is the normalized improvement (filtered ratio / unfiltered
+// ratio) for one method on one network.
+type Table8Row struct {
+	Network string
+	Method  string
+	// Unfiltered and Filtered are mean accuracy ratios across seeds.
+	Unfiltered, Filtered float64
+	// Improvement = Filtered / Unfiltered (Inf encoded as 0 when the
+	// unfiltered ratio is 0, matching the paper's "-" entries).
+	Improvement float64
+}
+
+// Table8Metrics is the metric-method list of Table 8.
+func Table8Metrics() []predict.Algorithm {
+	return []predict.Algorithm{
+		predict.JC, predict.BCN, predict.BAA, predict.BRA, predict.LP,
+		predict.LRW, predict.PPR, predict.SP, predict.KatzLR, predict.Rescal, predict.PA,
+	}
+}
+
+// Table8 measures the filtering improvement for every metric method and
+// for SVM classifiers across the θ sweep, on each network's large instance.
+func Table8(c Config, nets []*Network) ([]Table8Row, error) {
+	var rows []Table8Row
+	for _, n := range nets {
+		preps, err := n.prepareSeeds(c, "large")
+		if err != nil {
+			return nil, err
+		}
+		tk := n.Tracker()
+		fc := temporal.ConfigFor(n.Cfg.Name)
+		addRow := func(method string, unf, fil []float64) {
+			row := Table8Row{
+				Network:    n.Cfg.Name,
+				Method:     method,
+				Unfiltered: meanStd(unf).Mean,
+				Filtered:   meanStd(fil).Mean,
+			}
+			if row.Unfiltered > 0 {
+				row.Improvement = row.Filtered / row.Unfiltered
+			}
+			rows = append(rows, row)
+		}
+		for _, alg := range Table8Metrics() {
+			var unf, fil []float64
+			for _, p := range preps {
+				unf = append(unf, p.EvaluateMetric(alg, c.Opt).Ratio)
+				fil = append(fil, p.EvaluateMetricFiltered(alg, c.Opt, tk, fc).Ratio)
+			}
+			addRow(alg.Name(), unf, fil)
+		}
+		for _, theta := range ThetaSweep() {
+			var unf, fil []float64
+			for s, p := range preps {
+				ru, err := p.EvaluateClassifier(ml.NewSVM(int64(s+1)), theta, int64(s+1))
+				if err != nil {
+					return nil, err
+				}
+				rf, err := p.EvaluateClassifierFiltered(ml.NewSVM(int64(s+1)), theta, int64(s+1), tk, fc)
+				if err != nil {
+					return nil, err
+				}
+				unf = append(unf, ru.Ratio)
+				fil = append(fil, rf.Ratio)
+			}
+			addRow(fmt.Sprintf("SVM 1:%g", theta), unf, fil)
+		}
+	}
+	return rows, nil
+}
+
+// Figure16Row compares a metric's Basic and Time-Model (moving-average)
+// variants with and without temporal filtering.
+type Figure16Row struct {
+	Network string
+	Metric  string
+	// Ratios, mean over seeds.
+	Basic, BasicFiltered, TimeModel, TimeModelFiltered float64
+}
+
+// Figure16Metrics is the representative metric set plotted in Figure 16.
+func Figure16Metrics() []predict.Algorithm {
+	return []predict.Algorithm{predict.JC, predict.BCN, predict.BRA, predict.LP, predict.PPR}
+}
+
+// Figure16 compares temporal filtering against the §6.3 time-series method
+// (moving average over past snapshots) and their combination.
+func Figure16(c Config, nets []*Network, window int) ([]Figure16Row, error) {
+	if window <= 0 {
+		window = 4
+	}
+	var rows []Figure16Row
+	for _, n := range nets {
+		_, cutTest, _ := n.instanceCuts("large")
+		// Index of the test cut for the time-series history.
+		testIdx := -1
+		for i, cut := range n.Cuts {
+			if cut.EdgeCount == cutTest.EdgeCount {
+				testIdx = i
+				break
+			}
+		}
+		if testIdx < 0 {
+			return nil, fmt.Errorf("experiments: test cut not found for %s", n.Cfg.Name)
+		}
+		preps, err := n.prepareSeeds(c, "large")
+		if err != nil {
+			return nil, err
+		}
+		tk := n.Tracker()
+		fc := temporal.ConfigFor(n.Cfg.Name)
+		for _, alg := range Figure16Metrics() {
+			var basic, basicF, tmodel, tmodelF []float64
+			for _, p := range preps {
+				keep := p.FilterKeep(tk, fc)
+				basic = append(basic, p.EvaluateMetric(alg, c.Opt).Ratio)
+				basicF = append(basicF, p.EvaluateMetricFiltered(alg, c.Opt, tk, fc).Ratio)
+				scores, err := timeseries.Scores(n.Trace, n.Cuts, testIdx, window, alg, p.TestPairs, timeseries.MA, c.Opt)
+				if err != nil {
+					return nil, err
+				}
+				rm, err := p.EvaluateScores(scores, c.Seed, nil)
+				if err != nil {
+					return nil, err
+				}
+				rmf, err := p.EvaluateScores(scores, c.Seed, keep)
+				if err != nil {
+					return nil, err
+				}
+				tmodel = append(tmodel, rm.Ratio)
+				tmodelF = append(tmodelF, rmf.Ratio)
+			}
+			rows = append(rows, Figure16Row{
+				Network:           n.Cfg.Name,
+				Metric:            alg.Name(),
+				Basic:             meanStd(basic).Mean,
+				BasicFiltered:     meanStd(basicF).Mean,
+				TimeModel:         meanStd(tmodel).Mean,
+				TimeModelFiltered: meanStd(tmodelF).Mean,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"linkpred/internal/analysis"
+	"linkpred/internal/graph"
+)
+
+// Table2Row describes one dataset as in Table 2: start/end sizes, snapshot
+// delta, and snapshot count.
+type Table2Row struct {
+	Network    string
+	StartNodes int
+	StartEdges int
+	EndNodes   int
+	EndEdges   int
+	Delta      int
+	Snapshots  int
+}
+
+// Table2 reproduces the dataset-statistics table on the synthetic traces.
+func Table2(c Config) []Table2Row {
+	var rows []Table2Row
+	for _, n := range LoadNetworks(c) {
+		first := n.Trace.SnapshotAtEdge(n.Cuts[0].EdgeCount)
+		last := n.Trace.SnapshotAtEdge(n.Cuts[len(n.Cuts)-1].EdgeCount)
+		rows = append(rows, Table2Row{
+			Network:    n.Cfg.Name,
+			StartNodes: first.NumNodes(),
+			StartEdges: first.NumEdges(),
+			EndNodes:   last.NumNodes(),
+			EndEdges:   last.NumEdges(),
+			Delta:      n.Delta,
+			Snapshots:  len(n.Cuts),
+		})
+	}
+	return rows
+}
+
+// Figure1Series holds a network's daily growth counts.
+type Figure1Series struct {
+	Network  string
+	Day      []int
+	NewNodes []int
+	NewEdges []int
+}
+
+// Figure1 reproduces the daily new-node/new-edge growth curves. Seed
+// community events (before day 0) are excluded, as the paper's traces start
+// at the crawl epoch.
+func Figure1(c Config) []Figure1Series {
+	var out []Figure1Series
+	for _, n := range LoadNetworks(c) {
+		days := n.Cfg.Days
+		s := Figure1Series{
+			Network:  n.Cfg.Name,
+			Day:      make([]int, days),
+			NewNodes: make([]int, days),
+			NewEdges: make([]int, days),
+		}
+		for d := 0; d < days; d++ {
+			s.Day[d] = d
+		}
+		for _, arr := range n.Trace.Arrival {
+			if d := int(arr / graph.Day); d >= 0 && d < days {
+				s.NewNodes[d]++
+			}
+		}
+		for _, e := range n.Trace.Edges {
+			if d := int(e.Time / graph.Day); d >= 0 && d < days && e.Time > 0 {
+				s.NewEdges[d]++
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// StructureSeries holds the per-snapshot structural metrics of Figures 2-4.
+type StructureSeries struct {
+	Network    string
+	EdgeCount  []int
+	AvgDegree  []float64
+	PathLen    []float64
+	Clustering []float64
+}
+
+// Figures2to4 reproduces average degree, average path length, and average
+// clustering coefficient over network growth.
+func Figures2to4(c Config) []StructureSeries {
+	var out []StructureSeries
+	for _, n := range LoadNetworks(c) {
+		s := StructureSeries{Network: n.Cfg.Name}
+		for _, i := range c.transitions(len(n.Cuts) + 1) {
+			g := n.Trace.SnapshotAtEdge(n.Cuts[i].EdgeCount)
+			ds := analysis.Degrees(g)
+			s.EdgeCount = append(s.EdgeCount, g.NumEdges())
+			s.AvgDegree = append(s.AvgDegree, ds.Avg)
+			s.PathLen = append(s.PathLen, analysis.AvgPathLength(g, 48, c.Seed))
+			s.Clustering = append(s.Clustering, analysis.Clustering(g, 300, c.Seed))
+		}
+		out = append(out, s)
+	}
+	return out
+}

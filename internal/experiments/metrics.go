@@ -1,0 +1,410 @@
+package experiments
+
+import (
+	"sort"
+
+	"linkpred/internal/analysis"
+	"linkpred/internal/graph"
+	"linkpred/internal/ml"
+	"linkpred/internal/predict"
+	"linkpred/internal/temporal"
+)
+
+// Table4Row reports an algorithm's best absolute accuracy (%) over all
+// evaluated snapshot transitions of a network.
+type Table4Row struct {
+	Network string
+	Alg     string
+	// BestAccuracyPct is the maximum top-k precision over transitions, in
+	// percent (the paper's Table 4).
+	BestAccuracyPct float64
+}
+
+// Table4 reproduces the best-absolute-accuracy table.
+func Table4(c Config, nets []*Network) []Table4Row {
+	var rows []Table4Row
+	for _, n := range nets {
+		best := map[string]float64{}
+		for _, cell := range n.MetricSweep(c) {
+			if cell.Accuracy > best[cell.Alg] {
+				best[cell.Alg] = cell.Accuracy
+			}
+		}
+		algs := make([]string, 0, len(best))
+		for a := range best {
+			algs = append(algs, a)
+		}
+		sort.Strings(algs)
+		for _, a := range algs {
+			rows = append(rows, Table4Row{Network: n.Cfg.Name, Alg: a, BestAccuracyPct: 100 * best[a]})
+		}
+	}
+	return rows
+}
+
+// Figure5Series is one algorithm's accuracy-ratio curve over a network's
+// growth (x = total edge count of the predicted-from snapshot).
+type Figure5Series struct {
+	Network   string
+	Alg       string
+	EdgeCount []int
+	Ratio     []float64
+}
+
+// Figure5 reproduces the accuracy-ratio-versus-growth curves for the
+// Figure 5 algorithm set.
+func Figure5(c Config, nets []*Network) []Figure5Series {
+	var out []Figure5Series
+	for _, n := range nets {
+		byAlg := map[string]*Figure5Series{}
+		var order []string
+		for _, cell := range n.MetricSweep(c) {
+			s, ok := byAlg[cell.Alg]
+			if !ok {
+				s = &Figure5Series{Network: n.Cfg.Name, Alg: cell.Alg}
+				byAlg[cell.Alg] = s
+				order = append(order, cell.Alg)
+			}
+			s.EdgeCount = append(s.EdgeCount, cell.EdgeCount)
+			s.Ratio = append(s.Ratio, cell.Ratio)
+		}
+		for _, a := range order {
+			out = append(out, *byAlg[a])
+		}
+	}
+	return out
+}
+
+// Lambda2Correlation reports, per network, the mean Pearson correlation
+// between the accuracy-ratio curves of the top-performing metrics and the
+// λ₂ series (§4.2: 0.95 Renren, 0.83 YouTube, 0.81 Facebook).
+type Lambda2Correlation struct {
+	Network     string
+	TopMetrics  []string
+	Correlation float64
+}
+
+// CorrelateLambda2 computes the §4.2 correlation using the top `top`
+// metrics by mean accuracy ratio.
+func CorrelateLambda2(c Config, nets []*Network, top int) []Lambda2Correlation {
+	var out []Lambda2Correlation
+	for _, n := range nets {
+		cells := n.MetricSweep(c)
+		// Collect per-algorithm ratio series and the λ₂ series.
+		series := map[string][]float64{}
+		var l2 []float64
+		seenCut := map[int]bool{}
+		for _, cell := range cells {
+			series[cell.Alg] = append(series[cell.Alg], cell.Ratio)
+			if !seenCut[cell.CutIdx] {
+				seenCut[cell.CutIdx] = true
+				l2 = append(l2, cell.Lambda2)
+			}
+		}
+		// Rank algorithms by mean ratio.
+		type ranked struct {
+			alg  string
+			mean float64
+		}
+		var rs []ranked
+		for alg, r := range series {
+			m := 0.0
+			for _, v := range r {
+				m += v
+			}
+			rs = append(rs, ranked{alg, m / float64(len(r))})
+		}
+		sort.Slice(rs, func(i, j int) bool {
+			if rs[i].mean != rs[j].mean {
+				return rs[i].mean > rs[j].mean
+			}
+			return rs[i].alg < rs[j].alg
+		})
+		if top > len(rs) {
+			top = len(rs)
+		}
+		var sum float64
+		var names []string
+		for _, r := range rs[:top] {
+			sum += analysis.Pearson(series[r.alg], l2)
+			names = append(names, r.alg)
+		}
+		out = append(out, Lambda2Correlation{
+			Network:     n.Cfg.Name,
+			TopMetrics:  names,
+			Correlation: sum / float64(top),
+		})
+	}
+	return out
+}
+
+// Figure6Result carries the §4.3 decision-tree analysis: the multi-class
+// tree choosing the best algorithm from snapshot features, plus the
+// per-algorithm binary rules.
+type Figure6Result struct {
+	// FeatureNames indexes the tree's features.
+	FeatureNames []string
+	// Winners maps each data point (snapshot transition) to its winning
+	// algorithm.
+	Winners []string
+	// Rules renders the fitted multi-class tree.
+	Rules []string
+	// Tree is the fitted tree for structural inspection.
+	Tree *ml.DecisionTree
+	// AlgClasses maps class index → algorithm name.
+	AlgClasses []string
+	// BinaryRules maps algorithm → rules of its one-vs-rest tree ("good"
+	// means within 90% of the optimal ratio).
+	BinaryRules map[string][]string
+}
+
+// Figure6 trains the algorithm-choosing decision tree over every snapshot
+// transition of every network.
+func Figure6(c Config, nets []*Network) Figure6Result {
+	res := Figure6Result{FeatureNames: analysis.FeatureNames, BinaryRules: map[string][]string{}}
+	var feats [][]float64
+	var winnerNames []string
+	bestRatio := map[int]float64{} // data point → best ratio
+	ratioByAlg := []map[string]float64{}
+
+	for _, n := range nets {
+		cells := n.MetricSweep(c)
+		byCut := map[int]map[string]float64{}
+		for _, cell := range cells {
+			if byCut[cell.CutIdx] == nil {
+				byCut[cell.CutIdx] = map[string]float64{}
+			}
+			byCut[cell.CutIdx][cell.Alg] = cell.Ratio
+		}
+		var cutIdxs []int
+		for i := range byCut {
+			cutIdxs = append(cutIdxs, i)
+		}
+		sort.Ints(cutIdxs)
+		for _, i := range cutIdxs {
+			g := n.Trace.SnapshotAtEdge(n.Cuts[i].EdgeCount)
+			feats = append(feats, analysis.Features(g, 250, c.Seed))
+			winner, best := "", -1.0
+			for alg, r := range byCut[i] {
+				if r > best || (r == best && alg < winner) {
+					winner, best = alg, r
+				}
+			}
+			winnerNames = append(winnerNames, winner)
+			bestRatio[len(feats)-1] = best
+			ratioByAlg = append(ratioByAlg, byCut[i])
+		}
+	}
+	res.Winners = winnerNames
+
+	// Multi-class tree over winners.
+	classOf := map[string]int{}
+	for _, w := range winnerNames {
+		if _, ok := classOf[w]; !ok {
+			classOf[w] = len(classOf)
+			res.AlgClasses = append(res.AlgClasses, w)
+		}
+	}
+	y := make([]int, len(winnerNames))
+	for i, w := range winnerNames {
+		y[i] = classOf[w]
+	}
+	tree := ml.NewDecisionTree(c.Seed)
+	tree.MaxDepth = 4
+	tree.MinLeaf = 2
+	if err := tree.FitMulti(&ml.Dataset{X: feats, Y: y}, len(classOf)); err == nil {
+		res.Tree = tree
+		res.Rules = tree.Rules(analysis.FeatureNames, res.AlgClasses)
+	}
+
+	// Per-algorithm binary trees: positive when within 90% of optimal.
+	perAlg := map[string][]int{}
+	for i, ratios := range ratioByAlg {
+		for alg, r := range ratios {
+			label := 0
+			if r >= 0.9*bestRatio[i] {
+				label = 1
+			}
+			perAlg[alg] = append(perAlg[alg], label)
+		}
+	}
+	var algNames []string
+	for alg := range perAlg {
+		algNames = append(algNames, alg)
+	}
+	sort.Strings(algNames)
+	for _, alg := range algNames {
+		labels := perAlg[alg]
+		pos := 0
+		for _, l := range labels {
+			pos += l
+		}
+		if pos == 0 || pos == len(labels) {
+			continue // degenerate, as the paper omits such algorithms
+		}
+		bt := ml.NewDecisionTree(c.Seed)
+		bt.MaxDepth = 2
+		bt.MinLeaf = 2
+		if err := bt.Fit(&ml.Dataset{X: feats, Y: labels}); err == nil {
+			res.BinaryRules[alg] = bt.Rules(analysis.FeatureNames, []string{"not-good", "good"})
+		}
+	}
+	return res
+}
+
+// Table5Row reports, for one algorithm on the analysis snapshot, the share
+// of predicted and of real new edges that involve the 0.1% most frequently
+// predicted nodes.
+type Table5Row struct {
+	Alg            string
+	PredictedShare float64
+	RealShare      float64
+}
+
+// analysisTransition picks the snapshot transition used for the §4.4
+// analyses (the paper uses the Renren 55M-edge snapshot; we use the
+// transition at ~70% of the trace).
+func (n *Network) analysisTransition() int {
+	i := int(0.7 * float64(len(n.Cuts)))
+	if i > len(n.Cuts)-2 {
+		i = len(n.Cuts) - 2
+	}
+	return i
+}
+
+// Table5 reproduces the hot-node concentration analysis on a network.
+func Table5(c Config, n *Network, algs []predict.Algorithm) []Table5Row {
+	i := n.analysisTransition()
+	prev := n.Trace.SnapshotAtEdge(n.Cuts[i].EdgeCount)
+	truth := predict.TruthSet(prev, n.Trace.NewEdgesBetween(n.Cuts[i], n.Cuts[i+1]))
+	k := len(truth)
+	var rows []Table5Row
+	for _, alg := range algs {
+		pred := alg.Predict(prev, k, c.Opt)
+		freq := map[graph.NodeID]int{}
+		for _, p := range pred {
+			freq[p.U]++
+			freq[p.V]++
+		}
+		type nf struct {
+			v graph.NodeID
+			f int
+		}
+		var nodes []nf
+		for v, f := range freq {
+			nodes = append(nodes, nf{v, f})
+		}
+		sort.Slice(nodes, func(a, b int) bool {
+			if nodes[a].f != nodes[b].f {
+				return nodes[a].f > nodes[b].f
+			}
+			return nodes[a].v < nodes[b].v
+		})
+		topCount := prev.NumNodes() / 1000
+		if topCount < 1 {
+			topCount = 1
+		}
+		if topCount > len(nodes) {
+			topCount = len(nodes)
+		}
+		hot := map[graph.NodeID]bool{}
+		for _, e := range nodes[:topCount] {
+			hot[e.v] = true
+		}
+		count := func(keys map[uint64]bool, pairs []predict.Pair) (int, int) {
+			hit, total := 0, 0
+			if pairs != nil {
+				for _, p := range pairs {
+					total++
+					if hot[p.U] || hot[p.V] {
+						hit++
+					}
+				}
+				return hit, total
+			}
+			for key := range keys {
+				u, v := predict.KeyPair(key)
+				total++
+				if hot[u] || hot[v] {
+					hit++
+				}
+			}
+			return hit, total
+		}
+		ph, pt := count(nil, pred)
+		rh, rt := count(truth, nil)
+		row := Table5Row{Alg: alg.Name()}
+		if pt > 0 {
+			row.PredictedShare = float64(ph) / float64(pt)
+		}
+		if rt > 0 {
+			row.RealShare = float64(rh) / float64(rt)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Figure7Series is a degree CCDF of the nodes involved in an algorithm's
+// predicted edges (plus the ground-truth series).
+type Figure7Series struct {
+	Label   string
+	Degrees []int
+	Frac    []float64
+}
+
+// Figure7 reproduces the degree-distribution bias analysis.
+func Figure7(c Config, n *Network, algs []predict.Algorithm) []Figure7Series {
+	i := n.analysisTransition()
+	prev := n.Trace.SnapshotAtEdge(n.Cuts[i].EdgeCount)
+	truth := predict.TruthSet(prev, n.Trace.NewEdgesBetween(n.Cuts[i], n.Cuts[i+1]))
+	k := len(truth)
+	var out []Figure7Series
+	var truthNodes []graph.NodeID
+	for key := range truth {
+		u, v := predict.KeyPair(key)
+		truthNodes = append(truthNodes, u, v)
+	}
+	sort.Slice(truthNodes, func(a, b int) bool { return truthNodes[a] < truthNodes[b] })
+	d, f := analysis.DegreeCCDF(prev, truthNodes)
+	out = append(out, Figure7Series{Label: "ground-truth", Degrees: d, Frac: f})
+	for _, alg := range algs {
+		pred := alg.Predict(prev, k, c.Opt)
+		var nodes []graph.NodeID
+		for _, p := range pred {
+			nodes = append(nodes, p.U, p.V)
+		}
+		d, f := analysis.DegreeCCDF(prev, nodes)
+		out = append(out, Figure7Series{Label: alg.Name(), Degrees: d, Frac: f})
+	}
+	return out
+}
+
+// Figure8Series is an idle-time CDF of the nodes in predicted edges.
+type Figure8Series struct {
+	Label string
+	CDF   temporal.CDF
+}
+
+// Figure8 reproduces the idle-time bias analysis: predicted edges skew to
+// dormant nodes compared with ground truth.
+func Figure8(c Config, n *Network, algs []predict.Algorithm) []Figure8Series {
+	i := n.analysisTransition()
+	prev := n.Trace.SnapshotAtEdge(n.Cuts[i].EdgeCount)
+	tm := n.Cuts[i].Time
+	truth := predict.TruthSet(prev, n.Trace.NewEdgesBetween(n.Cuts[i], n.Cuts[i+1]))
+	k := len(truth)
+	tk := n.Tracker()
+	var truthPairs []predict.Pair
+	for key := range truth {
+		u, v := predict.KeyPair(key)
+		truthPairs = append(truthPairs, predict.Pair{U: u, V: v})
+	}
+	sort.Slice(truthPairs, func(a, b int) bool { return truthPairs[a].Key() < truthPairs[b].Key() })
+	out := []Figure8Series{{Label: "ground-truth", CDF: temporal.NewCDF(tk.PairIdleDays(truthPairs, tm))}}
+	for _, alg := range algs {
+		pred := alg.Predict(prev, k, c.Opt)
+		out = append(out, Figure8Series{Label: alg.Name(), CDF: temporal.NewCDF(tk.PairIdleDays(pred, tm))})
+	}
+	return out
+}

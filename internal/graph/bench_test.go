@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchEdges(n, m int, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{U: NodeID(rng.Intn(n)), V: NodeID(rng.Intn(n)), Time: int64(i)}
+	}
+	return edges
+}
+
+// BenchmarkBuild measures snapshot construction (sorted adjacency + dedupe).
+func BenchmarkBuild(b *testing.B) {
+	const n, m = 10000, 80000
+	edges := benchEdges(n, m, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := Build(n, edges)
+		if g.NumEdges() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+// BenchmarkHasEdge measures membership probes on a built snapshot.
+func BenchmarkHasEdge(b *testing.B) {
+	const n, m = 10000, 80000
+	g := Build(n, benchEdges(n, m, 1))
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+}
+
+// BenchmarkCommonNeighbors measures the sorted-intersection hot path.
+func BenchmarkCommonNeighbors(b *testing.B) {
+	const n, m = 10000, 80000
+	g := Build(n, benchEdges(n, m, 1))
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CountCommonNeighbors(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+}
+
+// BenchmarkSnapshotSequence measures constant-delta sequencing of a trace.
+func BenchmarkSnapshotSequence(b *testing.B) {
+	const n, m = 5000, 40000
+	tr := &Trace{Name: "bench", Arrival: make([]int64, n), Edges: benchEdges(n, m, 4)}
+	for i := range tr.Edges {
+		tr.Edges[i].Time = int64(i)
+		if tr.Edges[i].U == tr.Edges[i].V {
+			tr.Edges[i].V = (tr.Edges[i].V + 1) % NodeID(n)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gs := tr.Sequence(m / 20)
+		if len(gs) != 20 {
+			b.Fatalf("snapshots = %d", len(gs))
+		}
+	}
+}

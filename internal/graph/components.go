@@ -1,0 +1,58 @@
+package graph
+
+// ConnectedComponents labels every node with a component ID in [0, count)
+// assigned in order of each component's smallest node ID.
+func ConnectedComponents(g *Graph) (labels []int32, count int) {
+	n := g.NumNodes()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []NodeID
+	next := int32(0)
+	for s := 0; s < n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		labels[s] = next
+		queue = append(queue[:0], NodeID(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Neighbors(u) {
+				if labels[v] < 0 {
+					labels[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	return labels, int(next)
+}
+
+// LargestComponent returns the node set of the largest connected component
+// (ties broken toward the smallest component label), sorted by node ID.
+func LargestComponent(g *Graph) []NodeID {
+	labels, count := ConnectedComponents(g)
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for l, s := range sizes {
+		if s > sizes[best] {
+			best = l
+		}
+	}
+	out := make([]NodeID, 0, sizes[best])
+	for v, l := range labels {
+		if int(l) == best {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}

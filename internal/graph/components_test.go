@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	// Two components: {0,1,2} and {3,4}; 5 isolated.
+	g := Build(6, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+	labels, count := ConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Errorf("component 0 split: %v", labels)
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Errorf("component 1 wrong: %v", labels)
+	}
+	if labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Errorf("isolated node joined: %v", labels)
+	}
+	lc := LargestComponent(g)
+	if len(lc) != 3 || lc[0] != 0 || lc[2] != 2 {
+		t.Fatalf("largest = %v", lc)
+	}
+	if got := LargestComponent(Build(0, nil)); got != nil {
+		t.Errorf("empty graph largest = %v", got)
+	}
+}
+
+// Property: component labels are consistent with edge connectivity, and
+// sizes sum to n.
+func TestComponentsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		var edges []Edge
+		for i := 0; i < n; i++ {
+			edges = append(edges, Edge{U: NodeID(rng.Intn(n)), V: NodeID(rng.Intn(n))})
+		}
+		g := Build(n, edges)
+		labels, count := ConnectedComponents(g)
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(NodeID(u)) {
+				if labels[u] != labels[v] {
+					return false
+				}
+			}
+			if labels[u] < 0 || int(labels[u]) >= count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadTraceCorruption feeds randomly corrupted valid traces to the
+// binary reader: it must either return an error or a valid trace, never
+// panic (failure-injection hardening).
+func TestReadTraceCorruption(t *testing.T) {
+	orig := testTrace()
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		data := append([]byte(nil), pristine...)
+		// Corrupt 1-4 random bytes, or truncate.
+		if trial%5 == 0 {
+			data = data[:rng.Intn(len(data))]
+		} else {
+			for c := 0; c <= rng.Intn(4); c++ {
+				data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: ReadTrace panicked: %v", trial, r)
+				}
+			}()
+			tr, err := ReadTrace(bytes.NewReader(data))
+			if err == nil {
+				// Must at least satisfy the validator if accepted.
+				if verr := tr.Validate(); verr != nil {
+					t.Fatalf("trial %d: accepted invalid trace: %v", trial, verr)
+				}
+			}
+		}()
+	}
+}
+
+// TestReadCSVCorruption mirrors the same guarantee for the text loader.
+func TestReadCSVCorruption(t *testing.T) {
+	base := []byte("0,1,100\n1,2,200\n2,3,300\n")
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		data := append([]byte(nil), base...)
+		for c := 0; c <= rng.Intn(3); c++ {
+			data[rng.Intn(len(data))] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: ReadCSV panicked on %q: %v", trial, data, r)
+				}
+			}()
+			tr, err := ReadCSV(bytes.NewReader(data), "fuzz")
+			if err == nil {
+				if verr := tr.Validate(); verr != nil {
+					t.Fatalf("trial %d: accepted invalid trace: %v", trial, verr)
+				}
+			}
+		}()
+	}
+}

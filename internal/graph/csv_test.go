@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := `# comment line
+7,3,100
+3 9 50
+7	9	200
+% another comment
+
+9;3;150
+`
+	tr, err := ReadCSV(strings.NewReader(in), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4", tr.NumEdges())
+	}
+	if tr.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3 (ids 7,3,9 remapped)", tr.NumNodes())
+	}
+	// Sorted by time: 50, 100, 150, 200. First edge (time 50) touches
+	// original 3 and 9 → new ids 0 and 1.
+	if tr.Edges[0].Time != 50 || tr.Edges[0].U != 0 || tr.Edges[0].V != 1 {
+		t.Fatalf("first edge = %+v", tr.Edges[0])
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVTwoColumns(t *testing.T) {
+	// Without timestamps all edges land at t=0, still a valid static trace.
+	tr, err := ReadCSV(strings.NewReader("0,1\n1,2\n"), "static")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEdges() != 2 || tr.Edges[0].Time != 0 {
+		t.Fatalf("trace = %+v", tr.Edges)
+	}
+}
+
+func TestReadCSVFloatTimestamps(t *testing.T) {
+	tr, err := ReadCSV(strings.NewReader("0,1,1234.75\n"), "float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Edges[0].Time != 1234 {
+		t.Fatalf("time = %d", tr.Edges[0].Time)
+	}
+}
+
+func TestReadCSVSelfLoopsDropped(t *testing.T) {
+	tr, err := ReadCSV(strings.NewReader("0,0,5\n0,1,6\n"), "loops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", tr.NumEdges())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"only comments": "# nothing\n",
+		"single column": "42\n",
+		"bad source":    "x,1,2\n",
+		"bad target":    "1,y,2\n",
+		"bad time":      "1,2,zebra\n",
+		"negative id":   "-1,2,3\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), name); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := testTrace()
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != orig.NumEdges() {
+		t.Fatalf("edges = %d, want %d", got.NumEdges(), orig.NumEdges())
+	}
+	// Edge times survive; IDs are remapped but the multiset of times and
+	// the per-snapshot structure must match.
+	for i := range got.Edges {
+		if got.Edges[i].Time != orig.Edges[i].Time {
+			t.Fatalf("edge %d time %d != %d", i, got.Edges[i].Time, orig.Edges[i].Time)
+		}
+	}
+	a := orig.SnapshotAtEdge(orig.NumEdges())
+	b := got.SnapshotAtEdge(got.NumEdges())
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("snapshot edges %d != %d", a.NumEdges(), b.NumEdges())
+	}
+}
+
+// Property: CSV round trip preserves edge count, node count and the degree
+// multiset for random traces.
+func TestCSVRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		var edges []Edge
+		tm := int64(0)
+		seen := map[uint64]bool{}
+		for i := 0; i < 30; i++ {
+			u := NodeID(rng.Intn(n))
+			v := NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			key := uint64(uint32(min(u, v)))<<32 | uint64(uint32(max(u, v)))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			tm += int64(rng.Intn(5))
+			edges = append(edges, Edge{U: u, V: v, Time: tm})
+		}
+		if len(edges) == 0 {
+			return true
+		}
+		orig := &Trace{Name: "q", Arrival: make([]int64, n), Edges: edges}
+		var buf bytes.Buffer
+		if err := orig.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf, "q")
+		if err != nil {
+			return false
+		}
+		if got.NumEdges() != len(edges) {
+			return false
+		}
+		ga := orig.SnapshotAtEdge(len(edges))
+		gb := got.SnapshotAtEdge(len(edges))
+		da := degreeHistogram(ga)
+		db := degreeHistogram(gb)
+		if len(da) != len(db) {
+			return false
+		}
+		for k, v := range da {
+			if db[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func degreeHistogram(g *Graph) map[int]int {
+	h := map[int]int{}
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.Degree(NodeID(u)); d > 0 {
+			h[d]++
+		}
+	}
+	return h
+}

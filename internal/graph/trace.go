@@ -1,0 +1,285 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Day is the number of seconds per day, the time unit used by the paper's
+// temporal analysis (idle times, d-day windows, CN time gaps).
+const Day int64 = 86400
+
+// Trace is a full dynamic-network history: every link creation event with
+// its timestamp, plus per-node arrival times. Edges are sorted by time.
+type Trace struct {
+	Name string
+	// Arrival[v] is the time node v joined the network.
+	Arrival []int64
+	// Edges are link-creation events sorted by non-decreasing Time.
+	Edges []Edge
+}
+
+// NumNodes returns the total number of nodes that ever appear in the trace.
+func (t *Trace) NumNodes() int { return len(t.Arrival) }
+
+// NumEdges returns the total number of link-creation events.
+func (t *Trace) NumEdges() int { return len(t.Edges) }
+
+// Duration returns the time span between the first and last edge.
+func (t *Trace) Duration() int64 {
+	if len(t.Edges) == 0 {
+		return 0
+	}
+	return t.Edges[len(t.Edges)-1].Time - t.Edges[0].Time
+}
+
+// Validate checks trace invariants: edge endpoints within range, timestamps
+// sorted, no self loops. Generators and loaders call this defensively.
+func (t *Trace) Validate() error {
+	n := NodeID(len(t.Arrival))
+	prev := int64(math.MinInt64)
+	for i, e := range t.Edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return fmt.Errorf("trace %q: edge %d endpoint out of range: %v", t.Name, i, e)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("trace %q: edge %d is a self loop on node %d", t.Name, i, e.U)
+		}
+		if e.Time < prev {
+			return fmt.Errorf("trace %q: edge %d out of time order (%d < %d)", t.Name, i, e.Time, prev)
+		}
+		prev = e.Time
+	}
+	return nil
+}
+
+// nodesArrivedBy returns the count of nodes with Arrival <= tm, relying on
+// arrival times being non-decreasing in node ID (generators guarantee this;
+// Sort normalizes loaded traces).
+func (t *Trace) nodesArrivedBy(tm int64) int {
+	return sort.Search(len(t.Arrival), func(i int) bool { return t.Arrival[i] > tm })
+}
+
+// SnapshotAtEdge builds the graph containing the first m edges of the trace
+// and every node that has arrived by the m-th edge's timestamp.
+func (t *Trace) SnapshotAtEdge(m int) *Graph {
+	if m > len(t.Edges) {
+		m = len(t.Edges)
+	}
+	var tm int64
+	if m > 0 {
+		tm = t.Edges[m-1].Time
+	}
+	g := Build(t.nodesArrivedBy(tm), t.Edges[:m])
+	g.Time = tm
+	return g
+}
+
+// SnapshotAtTime builds the graph of all edges with Time <= tm.
+func (t *Trace) SnapshotAtTime(tm int64) *Graph {
+	m := sort.Search(len(t.Edges), func(i int) bool { return t.Edges[i].Time > tm })
+	g := Build(t.nodesArrivedBy(tm), t.Edges[:m])
+	g.Time = tm
+	return g
+}
+
+// SnapshotCut is one element of a constant-delta snapshot sequence: the
+// number of trace edges included and the resulting snapshot time.
+type SnapshotCut struct {
+	EdgeCount int
+	Time      int64
+}
+
+// Cuts returns the snapshot boundaries obtained by keeping the number of new
+// edges per snapshot constant at delta, the paper's "snapshot delta"
+// discretization (§3.2). The first cut is at delta edges; the final partial
+// snapshot is dropped so every transition has exactly delta new edges.
+func (t *Trace) Cuts(delta int) []SnapshotCut {
+	if delta <= 0 {
+		return nil
+	}
+	var cuts []SnapshotCut
+	for m := delta; m <= len(t.Edges); m += delta {
+		cuts = append(cuts, SnapshotCut{EdgeCount: m, Time: t.Edges[m-1].Time})
+	}
+	return cuts
+}
+
+// Sequence materializes the snapshot sequence (G_1 ... G_T) for the given
+// delta. Snapshots share no state and may be used concurrently.
+func (t *Trace) Sequence(delta int) []*Graph {
+	cuts := t.Cuts(delta)
+	gs := make([]*Graph, len(cuts))
+	for i, c := range cuts {
+		gs[i] = t.SnapshotAtEdge(c.EdgeCount)
+	}
+	return gs
+}
+
+// NewEdgesBetween returns the edges created strictly after snapshot cut a
+// and up to cut b, i.e. the ground-truth links for the transition G_a → G_b.
+func (t *Trace) NewEdgesBetween(a, b SnapshotCut) []Edge {
+	return t.Edges[a.EdgeCount:b.EdgeCount]
+}
+
+// Sort orders edges by time (stable) and re-derives arrival order so that
+// node IDs are dense in arrival order. It returns a remapped trace; the
+// receiver is left unchanged. Used when loading external traces whose IDs
+// are arbitrary.
+func (t *Trace) Sort() *Trace {
+	edges := make([]Edge, len(t.Edges))
+	copy(edges, t.Edges)
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Time < edges[j].Time })
+
+	// First-touch remap: a node's arrival is its declared arrival if known,
+	// otherwise the time of its first edge.
+	remap := make([]NodeID, len(t.Arrival))
+	for i := range remap {
+		remap[i] = -1
+	}
+	var arrival []int64
+	next := NodeID(0)
+	touch := func(v NodeID, tm int64) NodeID {
+		if remap[v] < 0 {
+			remap[v] = next
+			next++
+			a := tm
+			if int(v) < len(t.Arrival) && t.Arrival[v] != 0 && t.Arrival[v] <= tm {
+				a = t.Arrival[v]
+			}
+			arrival = append(arrival, a)
+		}
+		return remap[v]
+	}
+	out := make([]Edge, len(edges))
+	for i, e := range edges {
+		out[i] = Edge{U: touch(e.U, e.Time), V: touch(e.V, e.Time), Time: e.Time}
+	}
+	// Arrival times must be non-decreasing in the remapped IDs for
+	// nodesArrivedBy; first-touch order guarantees it only if declared
+	// arrivals are consistent, so enforce monotonicity.
+	for i := 1; i < len(arrival); i++ {
+		if arrival[i] < arrival[i-1] {
+			arrival[i] = arrival[i-1]
+		}
+	}
+	return &Trace{Name: t.Name, Arrival: arrival, Edges: out}
+}
+
+const traceMagic = "LPTRACE1"
+
+// WriteTo serializes the trace in a compact binary format.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(data any) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		n += int64(binary.Size(data))
+		return nil
+	}
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(traceMagic))
+	if err := write(int32(len(t.Name))); err != nil {
+		return n, err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return n, err
+	}
+	n += int64(len(t.Name))
+	if err := write(int64(len(t.Arrival))); err != nil {
+		return n, err
+	}
+	if err := write(t.Arrival); err != nil {
+		return n, err
+	}
+	if err := write(int64(len(t.Edges))); err != nil {
+		return n, err
+	}
+	for _, e := range t.Edges {
+		if err := write(e.U); err != nil {
+			return n, err
+		}
+		if err := write(e.V); err != nil {
+			return n, err
+		}
+		if err := write(e.Time); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("read trace header: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, errors.New("not a linkpred trace file")
+	}
+	var nameLen int32
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen < 0 || nameLen > 1<<20 {
+		return nil, fmt.Errorf("implausible trace name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var nNodes int64
+	if err := binary.Read(br, binary.LittleEndian, &nNodes); err != nil {
+		return nil, err
+	}
+	if nNodes < 0 || nNodes > 1<<32 {
+		return nil, fmt.Errorf("implausible node count %d", nNodes)
+	}
+	// Declared counts may be corrupted, so grow buffers incrementally in
+	// bounded chunks: a lying header then fails with a read error instead
+	// of a giant up-front allocation.
+	const chunk = 1 << 18
+	arrival := make([]int64, 0, min(nNodes, chunk))
+	for int64(len(arrival)) < nNodes {
+		n := min(nNodes-int64(len(arrival)), chunk)
+		buf := make([]int64, n)
+		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+			return nil, fmt.Errorf("read arrivals: %w", err)
+		}
+		arrival = append(arrival, buf...)
+	}
+	var nEdges int64
+	if err := binary.Read(br, binary.LittleEndian, &nEdges); err != nil {
+		return nil, err
+	}
+	if nEdges < 0 || nEdges > 1<<40 {
+		return nil, fmt.Errorf("implausible edge count %d", nEdges)
+	}
+	edges := make([]Edge, 0, min(nEdges, chunk))
+	for int64(len(edges)) < nEdges {
+		var rec struct {
+			U, V NodeID
+			Time int64
+		}
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("read edges: %w", err)
+		}
+		edges = append(edges, Edge(rec))
+	}
+	t := &Trace{Name: string(name), Arrival: arrival, Edges: edges}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

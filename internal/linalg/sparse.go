@@ -1,0 +1,107 @@
+package linalg
+
+import (
+	"math/rand"
+
+	"linkpred/internal/graph"
+)
+
+// CSR is a sparse matrix in compressed-sparse-row form with unit values,
+// exactly what an unweighted adjacency matrix needs.
+type CSR struct {
+	N      int
+	RowPtr []int32
+	Col    []graph.NodeID
+}
+
+// FromGraph builds the (symmetric) adjacency matrix of g.
+func FromGraph(g *graph.Graph) *CSR {
+	n := g.NumNodes()
+	c := &CSR{N: n, RowPtr: make([]int32, n+1)}
+	nnz := 0
+	for u := 0; u < n; u++ {
+		nnz += g.Degree(graph.NodeID(u))
+	}
+	c.Col = make([]graph.NodeID, 0, nnz)
+	for u := 0; u < n; u++ {
+		c.Col = append(c.Col, g.Neighbors(graph.NodeID(u))...)
+		c.RowPtr[u+1] = int32(len(c.Col))
+	}
+	return c
+}
+
+// MulVec computes y = A x. y must have length N and is overwritten.
+func (a *CSR) MulVec(x, y []float64) {
+	for i := 0; i < a.N; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += x[a.Col[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulDense computes Y = A X for a dense n x r matrix X, overwriting Y.
+func (a *CSR) MulDense(x, y *Dense) {
+	r := x.Cols
+	for i := 0; i < a.N; i++ {
+		yrow := y.Row(i)
+		for j := 0; j < r; j++ {
+			yrow[j] = 0
+		}
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			xrow := x.Row(int(a.Col[k]))
+			for j := 0; j < r; j++ {
+				yrow[j] += xrow[j]
+			}
+		}
+	}
+}
+
+// TopEig approximates the r dominant (largest magnitude) eigenpairs of the
+// symmetric matrix a using subspace iteration with Rayleigh-Ritz extraction.
+// Eigenvalues are returned in descending order of signed value; the i-th
+// column of vecs is the eigenvector for vals[i].
+func (a *CSR) TopEig(r, iters int, seed int64) (vals []float64, vecs *Dense) {
+	if r > a.N {
+		r = a.N
+	}
+	if r <= 0 {
+		return nil, NewDense(a.N, 0)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	q := NewDense(a.N, r)
+	for i := range q.Data {
+		q.Data[i] = rng.NormFloat64()
+	}
+	qrOrthonormalize(q, rng)
+	y := NewDense(a.N, r)
+	for it := 0; it < iters; it++ {
+		a.MulDense(q, y)
+		q, y = y, q
+		qrOrthonormalize(q, rng)
+	}
+	// Rayleigh-Ritz: T = Q^T A Q, then rotate Q by T's eigenvectors.
+	a.MulDense(q, y) // y = A Q
+	t := NewDense(r, r)
+	for i := 0; i < r; i++ {
+		for j := 0; j < r; j++ {
+			var s float64
+			for k := 0; k < a.N; k++ {
+				s += q.At(k, i) * y.At(k, j)
+			}
+			t.Set(i, j, s)
+		}
+	}
+	// Symmetrize against round-off before Jacobi.
+	for i := 0; i < r; i++ {
+		for j := i + 1; j < r; j++ {
+			v := (t.At(i, j) + t.At(j, i)) / 2
+			t.Set(i, j, v)
+			t.Set(j, i, v)
+		}
+	}
+	tvals, tvecs := JacobiEig(t)
+	ritz := MatMul(q, tvecs)
+	return tvals, ritz
+}

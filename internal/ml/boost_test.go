@@ -1,0 +1,127 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGradientBoostOnBlobs(t *testing.T) {
+	train := blobs(31, 400, 4)
+	test := blobs(32, 200, 4)
+	gbt := NewGradientBoost(1)
+	if err := gbt.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(gbt, test); acc < 0.9 {
+		t.Errorf("GBT blob accuracy = %v", acc)
+	}
+}
+
+func TestGradientBoostOnXOR(t *testing.T) {
+	train := xor(33, 600)
+	test := xor(34, 300)
+	gbt := NewGradientBoost(1)
+	if err := gbt.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(gbt, test); acc < 0.9 {
+		t.Errorf("GBT XOR accuracy = %v (trees should solve XOR)", acc)
+	}
+}
+
+func TestGradientBoostDeterministic(t *testing.T) {
+	train := blobs(35, 200, 3)
+	probe := []float64{0.2, -0.1, 0.4}
+	a, b := NewGradientBoost(9), NewGradientBoost(9)
+	if err := a.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if a.Score(probe) != b.Score(probe) {
+		t.Error("GBT not deterministic")
+	}
+}
+
+func TestGradientBoostImbalance(t *testing.T) {
+	// 1:50 imbalance: the ensemble must still rank positives above
+	// negatives even if the decision threshold is conservative.
+	d := blobs(37, 102, 5)
+	var imb Dataset
+	posKept := 0
+	for i := range d.X {
+		if d.Y[i] == 1 {
+			if posKept >= 2 {
+				continue
+			}
+			posKept++
+		}
+		imb.X = append(imb.X, d.X[i])
+		imb.Y = append(imb.Y, d.Y[i])
+	}
+	gbt := NewGradientBoost(3)
+	if err := gbt.Fit(&imb); err != nil {
+		t.Fatal(err)
+	}
+	// Score separation on fresh data.
+	fresh := blobs(38, 100, 5)
+	var posMean, negMean float64
+	var nPos, nNeg int
+	for i := range fresh.X {
+		s := gbt.Score(fresh.X[i])
+		if fresh.Y[i] == 1 {
+			posMean += s
+			nPos++
+		} else {
+			negMean += s
+			nNeg++
+		}
+	}
+	posMean /= float64(nPos)
+	negMean /= float64(nNeg)
+	if posMean <= negMean {
+		t.Errorf("GBT imbalanced ranking inverted: pos %v <= neg %v", posMean, negMean)
+	}
+}
+
+func TestRegTreeFitsConstant(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	target := []float64{5, 5, 5}
+	tree := fitRegTree(x, target, []int{0, 1, 2}, 3, 1)
+	if !tree.leaf() {
+		t.Error("constant target should yield a leaf")
+	}
+	if math.Abs(tree.predict([]float64{2})-5) > 1e-12 {
+		t.Errorf("leaf value = %v", tree.value)
+	}
+	if fitRegTree(x, target, nil, 3, 1) != nil {
+		t.Error("empty rows should yield nil")
+	}
+}
+
+func TestRegTreeSplits(t *testing.T) {
+	// Step function: target -1 below 0, +1 above.
+	var x [][]float64
+	var target []float64
+	var rows []int
+	for i := -10; i < 10; i++ {
+		x = append(x, []float64{float64(i)})
+		v := -1.0
+		if i >= 0 {
+			v = 1
+		}
+		target = append(target, v)
+		rows = append(rows, len(rows))
+	}
+	tree := fitRegTree(x, target, rows, 2, 1)
+	if tree.leaf() {
+		t.Fatal("step target should split")
+	}
+	if p := tree.predict([]float64{-5}); p > -0.9 {
+		t.Errorf("left prediction = %v", p)
+	}
+	if p := tree.predict([]float64{5}); p < 0.9 {
+		t.Errorf("right prediction = %v", p)
+	}
+}

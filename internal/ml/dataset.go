@@ -1,0 +1,188 @@
+// Package ml implements the supervised-learning substrate for the
+// classification-based link prediction experiments (§5) and the §4.3
+// algorithm-choosing analysis: a linear SVM (Pegasos), logistic regression,
+// Gaussian naive Bayes, a CART decision tree and a random forest, plus
+// standardization and the undersampling routine central to Figure 10.
+// Everything is deterministic given a seed.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dataset is a feature matrix with integer class labels (0/1 for the link
+// prediction task; arbitrary classes for the decision-tree analyses).
+type Dataset struct {
+	X [][]float64
+	Y []int
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Validate checks shape consistency.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d feature rows but %d labels", len(d.X), len(d.Y))
+	}
+	if len(d.X) == 0 {
+		return fmt.Errorf("ml: empty dataset")
+	}
+	w := len(d.X[0])
+	for i, row := range d.X {
+		if len(row) != w {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), w)
+		}
+	}
+	return nil
+}
+
+// CountClass returns the number of rows labeled c.
+func (d *Dataset) CountClass(c int) int {
+	n := 0
+	for _, y := range d.Y {
+		if y == c {
+			n++
+		}
+	}
+	return n
+}
+
+// Undersample keeps every positive (label 1) row and draws negatives
+// uniformly without replacement so that the result has at most ratio
+// negatives per positive — the paper's θ = (1 : ratio) training-set
+// construction (§5.2). If fewer negatives exist, all are kept.
+func Undersample(d *Dataset, ratio float64, seed int64) *Dataset {
+	var posIdx, negIdx []int
+	for i, y := range d.Y {
+		if y == 1 {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	want := int(math.Ceil(float64(len(posIdx)) * ratio))
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(negIdx), func(i, j int) { negIdx[i], negIdx[j] = negIdx[j], negIdx[i] })
+	if want < len(negIdx) {
+		negIdx = negIdx[:want]
+	}
+	out := &Dataset{}
+	for _, i := range posIdx {
+		out.X = append(out.X, d.X[i])
+		out.Y = append(out.Y, 1)
+	}
+	for _, i := range negIdx {
+		out.X = append(out.X, d.X[i])
+		out.Y = append(out.Y, 0)
+	}
+	// Shuffle rows so SGD-based learners see mixed classes.
+	rng.Shuffle(out.Len(), func(i, j int) {
+		out.X[i], out.X[j] = out.X[j], out.X[i]
+		out.Y[i], out.Y[j] = out.Y[j], out.Y[i]
+	})
+	return out
+}
+
+// Standardizer rescales features to zero mean and unit variance, the usual
+// preprocessing for the margin- and gradient-based classifiers.
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer computes per-feature statistics.
+func FitStandardizer(x [][]float64) *Standardizer {
+	if len(x) == 0 {
+		return &Standardizer{}
+	}
+	f := len(x[0])
+	s := &Standardizer{Mean: make([]float64, f), Std: make([]float64, f)}
+	for _, row := range x {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(x))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1 // constant feature: leave centered at zero
+		}
+	}
+	return s
+}
+
+// Transform returns the standardized copy of x.
+func (s *Standardizer) Transform(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = (v - s.Mean[j]) / s.Std[j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// TransformRow standardizes a single row in place into dst (allocated if nil).
+func (s *Standardizer) TransformRow(row []float64, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(row))
+	}
+	for j, v := range row {
+		dst[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return dst
+}
+
+// Classifier is a binary classifier that also exposes a real-valued ranking
+// score for the positive class, which the link prediction pipeline uses to
+// select its top-k pairs.
+type Classifier interface {
+	// Fit trains on the dataset. Labels must be 0 or 1.
+	Fit(d *Dataset) error
+	// Score returns a monotone score for the positive class.
+	Score(x []float64) float64
+	// Predict returns the predicted label.
+	Predict(x []float64) int
+	// Name identifies the classifier family (SVM, LR, NB, RF).
+	Name() string
+}
+
+// Accuracy is the fraction of rows a classifier labels correctly.
+func Accuracy(c Classifier, d *Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	right := 0
+	for i, row := range d.X {
+		if c.Predict(row) == d.Y[i] {
+			right++
+		}
+	}
+	return float64(right) / float64(d.Len())
+}
+
+func checkBinary(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	for i, y := range d.Y {
+		if y != 0 && y != 1 {
+			return fmt.Errorf("ml: row %d label %d, want 0 or 1", i, y)
+		}
+	}
+	return nil
+}

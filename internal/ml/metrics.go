@@ -1,0 +1,116 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Evaluate fills a confusion matrix for a fitted classifier on a dataset.
+func Evaluate(c Classifier, d *Dataset) Confusion {
+	var m Confusion
+	for i, row := range d.X {
+		pred := c.Predict(row)
+		switch {
+		case pred == 1 && d.Y[i] == 1:
+			m.TP++
+		case pred == 1 && d.Y[i] == 0:
+			m.FP++
+		case pred == 0 && d.Y[i] == 0:
+			m.TN++
+		default:
+			m.FN++
+		}
+	}
+	return m
+}
+
+// Precision is TP / (TP + FP); zero when the classifier predicted no
+// positives.
+func (m Confusion) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall is TP / (TP + FN); zero when the data has no positives.
+func (m Confusion) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (m Confusion) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy is the overall fraction correct.
+func (m Confusion) Accuracy() float64 {
+	total := m.TP + m.FP + m.TN + m.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(m.TP+m.TN) / float64(total)
+}
+
+// String implements fmt.Stringer.
+func (m Confusion) String() string {
+	return fmt.Sprintf("tp=%d fp=%d tn=%d fn=%d precision=%.3f recall=%.3f f1=%.3f",
+		m.TP, m.FP, m.TN, m.FN, m.Precision(), m.Recall(), m.F1())
+}
+
+// CrossValidate runs seeded k-fold cross-validation, fitting a fresh
+// classifier (from make) on each training fold and accumulating one
+// confusion matrix over all held-out folds. Folds are stratified-free
+// random partitions; k is clamped to the dataset size.
+func CrossValidate(make func() Classifier, d *Dataset, folds int, seed int64) (Confusion, error) {
+	if err := checkBinary(d); err != nil {
+		return Confusion{}, err
+	}
+	n := d.Len()
+	if folds < 2 {
+		return Confusion{}, fmt.Errorf("ml: need >= 2 folds, got %d", folds)
+	}
+	if folds > n {
+		folds = n
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	var total Confusion
+	for f := 0; f < folds; f++ {
+		var train, test Dataset
+		for i, idx := range perm {
+			if i%folds == f {
+				test.X = append(test.X, d.X[idx])
+				test.Y = append(test.Y, d.Y[idx])
+			} else {
+				train.X = append(train.X, d.X[idx])
+				train.Y = append(train.Y, d.Y[idx])
+			}
+		}
+		if train.CountClass(0) == 0 || train.CountClass(1) == 0 {
+			// Degenerate fold: skip (tiny or single-class datasets).
+			continue
+		}
+		clf := make()
+		if err := clf.Fit(&train); err != nil {
+			return Confusion{}, err
+		}
+		m := Evaluate(clf, &test)
+		total.TP += m.TP
+		total.FP += m.FP
+		total.TN += m.TN
+		total.FN += m.FN
+	}
+	return total, nil
+}

@@ -1,0 +1,93 @@
+package ml
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionArithmetic(t *testing.T) {
+	m := Confusion{TP: 8, FP: 2, TN: 85, FN: 5}
+	if p := m.Precision(); math.Abs(p-0.8) > 1e-12 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := m.Recall(); math.Abs(r-8.0/13.0) > 1e-12 {
+		t.Errorf("recall = %v", r)
+	}
+	wantF1 := 2 * 0.8 * (8.0 / 13.0) / (0.8 + 8.0/13.0)
+	if f := m.F1(); math.Abs(f-wantF1) > 1e-12 {
+		t.Errorf("f1 = %v, want %v", f, wantF1)
+	}
+	if a := m.Accuracy(); math.Abs(a-0.93) > 1e-12 {
+		t.Errorf("accuracy = %v", a)
+	}
+	if !strings.Contains(m.String(), "precision=0.800") {
+		t.Errorf("String() = %q", m.String())
+	}
+	var zero Confusion
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.F1() != 0 || zero.Accuracy() != 0 {
+		t.Error("zero confusion should yield zero metrics")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	train := blobs(21, 400, 4)
+	svm := NewSVM(1)
+	if err := svm.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	test := blobs(22, 200, 4)
+	m := Evaluate(svm, test)
+	if m.TP+m.FP+m.TN+m.FN != test.Len() {
+		t.Fatalf("confusion total %d != %d", m.TP+m.FP+m.TN+m.FN, test.Len())
+	}
+	if m.F1() < 0.85 {
+		t.Errorf("F1 = %v on separable blobs", m.F1())
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	d := blobs(23, 300, 4)
+	m, err := CrossValidate(func() Classifier { return NewLogisticRegression(1) }, d, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TP + m.FP + m.TN + m.FN; got != d.Len() {
+		t.Fatalf("CV covered %d of %d rows", got, d.Len())
+	}
+	if m.Accuracy() < 0.85 {
+		t.Errorf("CV accuracy = %v", m.Accuracy())
+	}
+	// Deterministic.
+	m2, err := CrossValidate(func() Classifier { return NewLogisticRegression(1) }, d, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != m2 {
+		t.Error("cross-validation not deterministic")
+	}
+	if _, err := CrossValidate(func() Classifier { return NewSVM(1) }, d, 1, 1); err == nil {
+		t.Error("folds=1 accepted")
+	}
+	bad := &Dataset{X: [][]float64{{1}}, Y: []int{3}}
+	if _, err := CrossValidate(func() Classifier { return NewSVM(1) }, bad, 2, 1); err == nil {
+		t.Error("non-binary labels accepted")
+	}
+}
+
+func TestCrossValidateDegenerateFolds(t *testing.T) {
+	// Only 2 positives: some folds have single-class training sets and are
+	// skipped without error.
+	d := &Dataset{}
+	for i := 0; i < 20; i++ {
+		label := 0
+		if i < 2 {
+			label = 1
+		}
+		d.X = append(d.X, []float64{float64(i)})
+		d.Y = append(d.Y, label)
+	}
+	if _, err := CrossValidate(func() Classifier { return NewGaussianNB() }, d, 10, 3); err != nil {
+		t.Fatalf("degenerate folds: %v", err)
+	}
+}

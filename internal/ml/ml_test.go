@@ -1,0 +1,335 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// blobs builds a 2-class Gaussian-blob dataset separated along a diagonal.
+func blobs(seed int64, n int, gap float64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		y := i % 2
+		cx := -gap / 2
+		if y == 1 {
+			cx = gap / 2
+		}
+		d.X = append(d.X, []float64{cx + rng.NormFloat64(), cx + rng.NormFloat64(), rng.NormFloat64()})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+// xor builds the classic non-linearly-separable dataset.
+func xor(seed int64, n int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		a := rng.Float64()*2 - 1
+		b := rng.Float64()*2 - 1
+		y := 0
+		if (a > 0) != (b > 0) {
+			y = 1
+		}
+		d.X = append(d.X, []float64{a, b})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+func TestStandardizer(t *testing.T) {
+	x := [][]float64{{1, 10, 5}, {3, 10, 7}, {5, 10, 9}}
+	s := FitStandardizer(x)
+	out := s.Transform(x)
+	for j := 0; j < 3; j++ {
+		mean, varr := 0.0, 0.0
+		for i := range out {
+			mean += out[i][j]
+		}
+		mean /= 3
+		for i := range out {
+			d := out[i][j] - mean
+			varr += d * d
+		}
+		if math.Abs(mean) > 1e-12 {
+			t.Errorf("feature %d mean = %v", j, mean)
+		}
+		if j != 1 && math.Abs(varr/3-1) > 1e-12 {
+			t.Errorf("feature %d variance = %v", j, varr/3)
+		}
+	}
+	// Constant feature maps to zero, not NaN.
+	if out[0][1] != 0 || math.IsNaN(out[0][1]) {
+		t.Errorf("constant feature transformed to %v", out[0][1])
+	}
+}
+
+func TestUndersample(t *testing.T) {
+	d := &Dataset{}
+	for i := 0; i < 10; i++ {
+		d.X = append(d.X, []float64{float64(i)})
+		d.Y = append(d.Y, 1)
+	}
+	for i := 0; i < 1000; i++ {
+		d.X = append(d.X, []float64{float64(100 + i)})
+		d.Y = append(d.Y, 0)
+	}
+	u := Undersample(d, 5, 3)
+	if got := u.CountClass(1); got != 10 {
+		t.Errorf("positives = %d, want all 10", got)
+	}
+	if got := u.CountClass(0); got != 50 {
+		t.Errorf("negatives = %d, want 50", got)
+	}
+	// Deterministic.
+	u2 := Undersample(d, 5, 3)
+	for i := range u.X {
+		if u.X[i][0] != u2.X[i][0] || u.Y[i] != u2.Y[i] {
+			t.Fatal("undersampling not deterministic")
+		}
+	}
+	// Clamp when negatives are scarce.
+	small := &Dataset{X: [][]float64{{1}, {2}, {3}}, Y: []int{1, 0, 0}}
+	c := Undersample(small, 100, 1)
+	if c.Len() != 3 {
+		t.Errorf("clamped size = %d, want 3", c.Len())
+	}
+}
+
+func TestLinearClassifiersOnBlobs(t *testing.T) {
+	train := blobs(1, 400, 4)
+	test := blobs(2, 200, 4)
+	for _, c := range []Classifier{NewSVM(7), NewLogisticRegression(7), NewGaussianNB()} {
+		if err := c.Fit(train); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if acc := Accuracy(c, test); acc < 0.9 {
+			t.Errorf("%s accuracy = %v, want >= 0.9", c.Name(), acc)
+		}
+	}
+}
+
+func TestSVMWeightsDirection(t *testing.T) {
+	train := blobs(3, 400, 4)
+	s := NewSVM(1)
+	if err := s.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	w := s.Weights()
+	if len(w) != 3 {
+		t.Fatalf("weights = %v", w)
+	}
+	// The first two features carry the signal (positive direction); the
+	// third is noise with a much smaller |weight|.
+	if w[0] <= 0 || w[1] <= 0 {
+		t.Errorf("signal weights should be positive: %v", w)
+	}
+	if math.Abs(w[2]) > math.Abs(w[0])/2 {
+		t.Errorf("noise weight %v not dominated by signal %v", w[2], w[0])
+	}
+}
+
+func TestTreeAndForestOnXOR(t *testing.T) {
+	train := xor(1, 600)
+	test := xor(2, 300)
+	tree := NewDecisionTree(5)
+	if err := tree.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(tree, test); acc < 0.9 {
+		t.Errorf("tree XOR accuracy = %v, want >= 0.9", acc)
+	}
+	rf := NewRandomForest(5)
+	if err := rf.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(rf, test); acc < 0.9 {
+		t.Errorf("forest XOR accuracy = %v, want >= 0.9", acc)
+	}
+	// Linear models cannot solve XOR — sanity check the fixture.
+	svm := NewSVM(5)
+	if err := svm.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(svm, test); acc > 0.75 {
+		t.Errorf("SVM XOR accuracy = %v; fixture is not XOR-like", acc)
+	}
+}
+
+func TestTreeMulticlass(t *testing.T) {
+	// Three 1-D clusters.
+	d := &Dataset{}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		c := i % 3
+		d.X = append(d.X, []float64{float64(c)*10 + rng.NormFloat64()})
+		d.Y = append(d.Y, c)
+	}
+	tree := NewDecisionTree(1)
+	if err := tree.FitMulti(d, 3); err != nil {
+		t.Fatal(err)
+	}
+	right := 0
+	for i := range d.X {
+		if tree.PredictClass(d.X[i]) == d.Y[i] {
+			right++
+		}
+	}
+	if acc := float64(right) / float64(d.Len()); acc < 0.95 {
+		t.Errorf("multiclass accuracy = %v", acc)
+	}
+	if err := tree.FitMulti(&Dataset{X: [][]float64{{1}}, Y: []int{5}}, 3); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestTreeRules(t *testing.T) {
+	// Single perfect split on feature "size" at 5.
+	d := &Dataset{
+		X: [][]float64{{1}, {2}, {3}, {8}, {9}, {10}},
+		Y: []int{0, 0, 0, 1, 1, 1},
+	}
+	tree := NewDecisionTree(1)
+	if err := tree.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	rules := tree.Rules([]string{"size"}, []string{"no", "yes"})
+	if len(rules) != 2 {
+		t.Fatalf("rules = %v", rules)
+	}
+	joined := strings.Join(rules, "\n")
+	if !strings.Contains(joined, "size <= 5.5") || !strings.Contains(joined, "yes") {
+		t.Errorf("rules missing expected split: %v", rules)
+	}
+	root := tree.Root()
+	if root.Feature != 0 || root.Threshold != 5.5 {
+		t.Errorf("root split = f%d @ %v", root.Feature, root.Threshold)
+	}
+}
+
+func TestTreeScoreGranularity(t *testing.T) {
+	// A pure leaf scores 1.0/0.0; mixed leaves score fractions.
+	d := &Dataset{
+		X: [][]float64{{1}, {1}, {1}, {10}, {10}, {10}, {10}},
+		Y: []int{1, 1, 0, 0, 0, 0, 0},
+	}
+	tree := &DecisionTree{MaxDepth: 1, MinLeaf: 3, Seed: 1}
+	if err := tree.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if s := tree.Score([]float64{1}); math.Abs(s-2.0/3.0) > 1e-12 {
+		t.Errorf("mixed leaf score = %v, want 2/3", s)
+	}
+	if s := tree.Score([]float64{10}); s != 0 {
+		t.Errorf("pure negative leaf score = %v", s)
+	}
+}
+
+func TestClassifierDeterminism(t *testing.T) {
+	train := blobs(9, 300, 3)
+	probe := []float64{0.3, -0.4, 0.1}
+	for _, mk := range []func() Classifier{
+		func() Classifier { return NewSVM(11) },
+		func() Classifier { return NewLogisticRegression(11) },
+		func() Classifier { return NewGaussianNB() },
+		func() Classifier { return NewDecisionTree(11) },
+		func() Classifier { return NewRandomForest(11) },
+	} {
+		a, b := mk(), mk()
+		if err := a.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		if a.Score(probe) != b.Score(probe) {
+			t.Errorf("%s not deterministic: %v vs %v", a.Name(), a.Score(probe), b.Score(probe))
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	bad := &Dataset{X: [][]float64{{1}, {2}}, Y: []int{0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	ragged := &Dataset{X: [][]float64{{1}, {2, 3}}, Y: []int{0, 1}}
+	if err := ragged.Validate(); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	nonBinary := &Dataset{X: [][]float64{{1}}, Y: []int{2}}
+	if err := NewSVM(1).Fit(nonBinary); err == nil {
+		t.Error("non-binary labels accepted by SVM")
+	}
+	empty := &Dataset{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+// Property: tree scores stay in [0,1] and predictions in {0,1} on random
+// data.
+func TestTreeBoundsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(80)
+		d := &Dataset{}
+		for i := 0; i < n; i++ {
+			d.X = append(d.X, []float64{rng.NormFloat64(), rng.NormFloat64()})
+			d.Y = append(d.Y, rng.Intn(2))
+		}
+		tree := NewDecisionTree(seed)
+		if err := tree.Fit(d); err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			x := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+			s := tree.Score(x)
+			p := tree.Predict(x)
+			if s < 0 || s > 1 || (p != 0 && p != 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NB score is monotone in the evidence — moving a point toward
+// the positive blob center increases the score.
+func TestNBMonotoneQuick(t *testing.T) {
+	train := blobs(13, 400, 4)
+	nb := NewGaussianNB()
+	if err := nb.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw int8) bool {
+		base := float64(raw) / 64
+		a := nb.Score([]float64{base, base, 0})
+		b := nb.Score([]float64{base + 0.5, base + 0.5, 0})
+		return b > a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccuracyHelper(t *testing.T) {
+	d := &Dataset{X: [][]float64{{-1}, {1}}, Y: []int{0, 1}}
+	svm := NewSVM(1)
+	if err := svm.Fit(&Dataset{X: [][]float64{{-2}, {-1}, {1}, {2}}, Y: []int{0, 0, 1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(svm, d); acc != 1 {
+		t.Errorf("accuracy = %v, want 1", acc)
+	}
+	if acc := Accuracy(svm, &Dataset{}); acc != 0 {
+		t.Errorf("empty accuracy = %v", acc)
+	}
+}

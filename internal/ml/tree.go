@@ -1,0 +1,342 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// TreeNode is one node of a CART decision tree. Leaves have Left == nil and
+// carry the training class distribution.
+type TreeNode struct {
+	Feature   int
+	Threshold float64
+	Left      *TreeNode
+	Right     *TreeNode
+	// Counts is the per-class sample count reaching the node.
+	Counts []float64
+}
+
+// leaf reports whether the node is terminal.
+func (n *TreeNode) leaf() bool { return n.Left == nil }
+
+// class returns the majority class at the node.
+func (n *TreeNode) class() int {
+	best := 0
+	for c, v := range n.Counts {
+		if v > n.Counts[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// DecisionTree is a CART classifier (Gini impurity, binary splits on
+// numeric features). It supports arbitrary class counts so the §4.3
+// best-algorithm analysis can reuse it, and exports its decision rules for
+// the Figure 6 reproduction.
+type DecisionTree struct {
+	// MaxDepth bounds tree depth (0 means 10).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (0 means 1).
+	MinLeaf int
+	// MaxFeatures limits the features considered per split (0 means all);
+	// random forests set it to sqrt(F).
+	MaxFeatures int
+	// Seed drives feature subsampling.
+	Seed int64
+
+	root    *TreeNode
+	classes int
+	rng     *rand.Rand
+}
+
+// NewDecisionTree returns a tree with experiment defaults.
+func NewDecisionTree(seed int64) *DecisionTree {
+	return &DecisionTree{MaxDepth: 10, MinLeaf: 1, Seed: seed}
+}
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string { return "DT" }
+
+// Fit implements Classifier (binary labels).
+func (t *DecisionTree) Fit(d *Dataset) error {
+	if err := checkBinary(d); err != nil {
+		return err
+	}
+	return t.FitMulti(d, 2)
+}
+
+// FitMulti trains on labels in [0, classes).
+func (t *DecisionTree) FitMulti(d *Dataset, classes int) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= classes {
+			return fmt.Errorf("ml: row %d label %d outside [0,%d)", i, y, classes)
+		}
+	}
+	t.classes = classes
+	t.rng = rand.New(rand.NewSource(t.Seed))
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(d, idx, 0)
+	return nil
+}
+
+func gini(counts []float64, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / total
+		g -= p * p
+	}
+	return g
+}
+
+func (t *DecisionTree) build(d *Dataset, idx []int, depth int) *TreeNode {
+	counts := make([]float64, t.classes)
+	for _, i := range idx {
+		counts[d.Y[i]]++
+	}
+	node := &TreeNode{Counts: counts}
+	maxDepth := t.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 10
+	}
+	minLeaf := t.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 1
+	}
+	total := float64(len(idx))
+	if depth >= maxDepth || len(idx) < 2*minLeaf || gini(counts, total) == 0 {
+		return node
+	}
+
+	f := len(d.X[0])
+	features := make([]int, f)
+	for i := range features {
+		features[i] = i
+	}
+	if t.MaxFeatures > 0 && t.MaxFeatures < f {
+		t.rng.Shuffle(f, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:t.MaxFeatures]
+		sort.Ints(features)
+	}
+
+	bestGain := 1e-12
+	bestFeature, bestThreshold := -1, 0.0
+	sorted := make([]int, len(idx))
+	leftCounts := make([]float64, t.classes)
+	for _, feat := range features {
+		copy(sorted, idx)
+		sort.SliceStable(sorted, func(a, b int) bool { return d.X[sorted[a]][feat] < d.X[sorted[b]][feat] })
+		for c := range leftCounts {
+			leftCounts[c] = 0
+		}
+		parentGini := gini(counts, total)
+		for pos := 0; pos < len(sorted)-1; pos++ {
+			leftCounts[d.Y[sorted[pos]]]++
+			v, next := d.X[sorted[pos]][feat], d.X[sorted[pos+1]][feat]
+			if v == next {
+				continue
+			}
+			nl := float64(pos + 1)
+			nr := total - nl
+			if int(nl) < minLeaf || int(nr) < minLeaf {
+				continue
+			}
+			rightCounts := make([]float64, t.classes)
+			for c := range rightCounts {
+				rightCounts[c] = counts[c] - leftCounts[c]
+			}
+			gain := parentGini - (nl/total)*gini(leftCounts, nl) - (nr/total)*gini(rightCounts, nr)
+			if gain > bestGain {
+				bestGain = gain
+				bestFeature = feat
+				bestThreshold = (v + next) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][bestFeature] <= bestThreshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return node
+	}
+	node.Feature = bestFeature
+	node.Threshold = bestThreshold
+	node.Left = t.build(d, left, depth+1)
+	node.Right = t.build(d, right, depth+1)
+	return node
+}
+
+func (t *DecisionTree) route(x []float64) *TreeNode {
+	n := t.root
+	for !n.leaf() {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n
+}
+
+// Score implements Classifier: the leaf's positive-class fraction. Note the
+// paper's observation that trees produce coarse, near-binary scores.
+func (t *DecisionTree) Score(x []float64) float64 {
+	n := t.route(x)
+	total := 0.0
+	for _, c := range n.Counts {
+		total += c
+	}
+	if total == 0 || t.classes < 2 {
+		return 0
+	}
+	return n.Counts[1] / total
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(x []float64) int { return t.route(x).class() }
+
+// PredictClass is Predict for multiclass trees.
+func (t *DecisionTree) PredictClass(x []float64) int { return t.route(x).class() }
+
+// Root exposes the fitted tree for structural inspection (Figure 6).
+func (t *DecisionTree) Root() *TreeNode { return t.root }
+
+// Rules renders the tree as one human-readable line per leaf:
+//
+//	deg_std > 60.30 → Rescal (12 samples)
+//
+// featureNames maps feature indices to names, classNames class IDs to
+// labels; either may be nil for positional fallbacks.
+func (t *DecisionTree) Rules(featureNames, classNames []string) []string {
+	if t.root == nil {
+		return nil
+	}
+	fname := func(i int) string {
+		if i < len(featureNames) {
+			return featureNames[i]
+		}
+		return fmt.Sprintf("f%d", i)
+	}
+	cname := func(c int) string {
+		if c < len(classNames) {
+			return classNames[c]
+		}
+		return fmt.Sprintf("class%d", c)
+	}
+	var out []string
+	var walk func(n *TreeNode, conds []string)
+	walk = func(n *TreeNode, conds []string) {
+		if n.leaf() {
+			total := 0.0
+			for _, c := range n.Counts {
+				total += c
+			}
+			cond := strings.Join(conds, " && ")
+			if cond == "" {
+				cond = "always"
+			}
+			out = append(out, fmt.Sprintf("%s → %s (%.0f samples)", cond, cname(n.class()), total))
+			return
+		}
+		walk(n.Left, append(conds[:len(conds):len(conds)], fmt.Sprintf("%s <= %.3g", fname(n.Feature), n.Threshold)))
+		walk(n.Right, append(conds[:len(conds):len(conds)], fmt.Sprintf("%s > %.3g", fname(n.Feature), n.Threshold)))
+	}
+	walk(t.root, nil)
+	return out
+}
+
+// RandomForest bags MaxDepth-bounded CART trees over bootstrap samples with
+// per-split feature subsampling.
+type RandomForest struct {
+	Trees    int
+	MaxDepth int
+	MinLeaf  int
+	Seed     int64
+
+	forest  []*DecisionTree
+	classes int
+}
+
+// NewRandomForest returns a forest with experiment defaults.
+func NewRandomForest(seed int64) *RandomForest {
+	return &RandomForest{Trees: 20, MaxDepth: 10, MinLeaf: 1, Seed: seed}
+}
+
+// Name implements Classifier.
+func (r *RandomForest) Name() string { return "RF" }
+
+// Fit implements Classifier.
+func (r *RandomForest) Fit(d *Dataset) error {
+	if err := checkBinary(d); err != nil {
+		return err
+	}
+	r.classes = 2
+	trees := r.Trees
+	if trees <= 0 {
+		trees = 20
+	}
+	f := len(d.X[0])
+	maxFeat := int(math.Ceil(math.Sqrt(float64(f))))
+	rng := rand.New(rand.NewSource(r.Seed))
+	r.forest = r.forest[:0]
+	n := d.Len()
+	for b := 0; b < trees; b++ {
+		boot := &Dataset{X: make([][]float64, n), Y: make([]int, n)}
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			boot.X[i] = d.X[j]
+			boot.Y[i] = d.Y[j]
+		}
+		tr := &DecisionTree{
+			MaxDepth:    r.MaxDepth,
+			MinLeaf:     r.MinLeaf,
+			MaxFeatures: maxFeat,
+			Seed:        rng.Int63(),
+		}
+		if err := tr.Fit(boot); err != nil {
+			return err
+		}
+		r.forest = append(r.forest, tr)
+	}
+	return nil
+}
+
+// Score implements Classifier: mean leaf positive fraction across trees.
+func (r *RandomForest) Score(x []float64) float64 {
+	if len(r.forest) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, t := range r.forest {
+		s += t.Score(x)
+	}
+	return s / float64(len(r.forest))
+}
+
+// Predict implements Classifier.
+func (r *RandomForest) Predict(x []float64) int {
+	if r.Score(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,69 @@
+package predict
+
+import (
+	"testing"
+
+	"linkpred/internal/gen"
+	"linkpred/internal/graph"
+)
+
+// benchGraph is a mid-size Renren-like snapshot shared by the package
+// microbenchmarks.
+func benchGraph(b *testing.B) (*graph.Graph, int) {
+	b.Helper()
+	cfg := gen.Renren(1).Scaled(0.2)
+	tr := gen.MustGenerate(cfg)
+	delta := gen.DefaultDelta(cfg)
+	cuts := tr.Cuts(delta)
+	g := tr.SnapshotAtEdge(cuts[len(cuts)-2].EdgeCount)
+	return g, delta
+}
+
+// BenchmarkPredictScorePairs measures batch scoring throughput per
+// algorithm over a fixed 2-hop candidate sample.
+func BenchmarkPredictScorePairs(b *testing.B) {
+	g, _ := benchGraph(b)
+	var pairs []Pair
+	twoHopPairs(g, func(u, v graph.NodeID) {
+		if len(pairs) < 5000 {
+			pairs = append(pairs, Pair{U: u, V: v})
+		}
+	})
+	opt := DefaultOptions()
+	for _, alg := range All() {
+		b.Run(alg.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				scores := alg.ScorePairs(g, pairs, opt)
+				if len(scores) != len(pairs) {
+					b.Fatal("score length mismatch")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTwoHopEnumeration measures the candidate sweep itself.
+func BenchmarkTwoHopEnumeration(b *testing.B) {
+	g, _ := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		twoHopPairs(g, func(u, v graph.NodeID) { count++ })
+		if count == 0 {
+			b.Fatal("no 2-hop pairs")
+		}
+	}
+}
+
+// BenchmarkTopKSelection measures the bounded heap under heavy churn.
+func BenchmarkTopKSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		top := newTopK(500, 1)
+		for v := graph.NodeID(1); v < 100000; v++ {
+			top.Add(0, v, float64(v%997))
+		}
+		if len(top.Result()) != 500 {
+			b.Fatal("selection size wrong")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package predict
+
+import (
+	"math"
+
+	"linkpred/internal/graph"
+)
+
+// This file implements the additional neighborhood similarity metrics from
+// Lü & Zhou's survey [28], which the paper cites as the canonical metric
+// catalogue. They are not part of the paper's 14 evaluated algorithms but
+// round the library out for downstream studies; Extensions() keeps them
+// separate from the paper-faithful registries.
+
+func scoreSalton(g *graph.Graph, _ *naiveBayes, u, v graph.NodeID, common []graph.NodeID) float64 {
+	du, dv := g.Degree(u), g.Degree(v)
+	if du == 0 || dv == 0 {
+		return 0
+	}
+	return float64(len(common)) / math.Sqrt(float64(du)*float64(dv))
+}
+
+func scoreSorensen(g *graph.Graph, _ *naiveBayes, u, v graph.NodeID, common []graph.NodeID) float64 {
+	du, dv := g.Degree(u), g.Degree(v)
+	if du+dv == 0 {
+		return 0
+	}
+	return 2 * float64(len(common)) / float64(du+dv)
+}
+
+func scoreHPI(g *graph.Graph, _ *naiveBayes, u, v graph.NodeID, common []graph.NodeID) float64 {
+	du, dv := g.Degree(u), g.Degree(v)
+	m := min(du, dv)
+	if m == 0 {
+		return 0
+	}
+	return float64(len(common)) / float64(m)
+}
+
+func scoreHDI(g *graph.Graph, _ *naiveBayes, u, v graph.NodeID, common []graph.NodeID) float64 {
+	du, dv := g.Degree(u), g.Degree(v)
+	m := max(du, dv)
+	if m == 0 {
+		return 0
+	}
+	return float64(len(common)) / float64(m)
+}
+
+func scoreLHN(g *graph.Graph, _ *naiveBayes, u, v graph.NodeID, common []graph.NodeID) float64 {
+	du, dv := g.Degree(u), g.Degree(v)
+	if du == 0 || dv == 0 {
+		return 0
+	}
+	return float64(len(common)) / (float64(du) * float64(dv))
+}
+
+// Salton is the cosine similarity index (|Γu∩Γv| / sqrt(ku·kv)).
+var Salton Algorithm = &localMetric{name: "Salton", score: scoreSalton}
+
+// Sorensen is the Sørensen index (2|Γu∩Γv| / (ku+kv)).
+var Sorensen Algorithm = &localMetric{name: "Sorensen", score: scoreSorensen}
+
+// HPI is the Hub Promoted Index (|Γu∩Γv| / min(ku,kv)).
+var HPI Algorithm = &localMetric{name: "HPI", score: scoreHPI}
+
+// HDI is the Hub Depressed Index (|Γu∩Γv| / max(ku,kv)).
+var HDI Algorithm = &localMetric{name: "HDI", score: scoreHDI}
+
+// LHN is the Leicht-Holme-Newman index (|Γu∩Γv| / (ku·kv)).
+var LHN Algorithm = &localMetric{name: "LHN", score: scoreLHN}
+
+// Extensions returns the survey metrics beyond the paper's evaluated set.
+func Extensions() []Algorithm {
+	return []Algorithm{Salton, Sorensen, HPI, HDI, LHN}
+}

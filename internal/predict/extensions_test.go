@@ -1,0 +1,110 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"linkpred/internal/graph"
+)
+
+func TestExtensionValues(t *testing.T) {
+	g := kite()
+	// Pair (0,3): |∩| = 2, deg(0)=2, deg(3)=3.
+	cases := []struct {
+		alg  Algorithm
+		want float64
+	}{
+		{Salton, 2 / math.Sqrt(6)},
+		{Sorensen, 4.0 / 5.0},
+		{HPI, 1},       // 2/min(2,3)
+		{HDI, 2.0 / 3}, // 2/max(2,3)
+		{LHN, 2.0 / 6},
+	}
+	for _, tc := range cases {
+		if got := scoreOne(t, tc.alg, g, 0, 3); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s(0,3) = %v, want %v", tc.alg.Name(), got, tc.want)
+		}
+		// No common neighbors → 0.
+		if got := scoreOne(t, tc.alg, g, 0, 4); got != 0 {
+			t.Errorf("%s(0,4) = %v, want 0", tc.alg.Name(), got)
+		}
+	}
+}
+
+func TestExtensionsRegistry(t *testing.T) {
+	exts := Extensions()
+	if len(exts) != 5 {
+		t.Fatalf("extensions = %d", len(exts))
+	}
+	for _, a := range exts {
+		got, err := ByName(a.Name())
+		if err != nil || got.Name() != a.Name() {
+			t.Errorf("ByName(%q): %v", a.Name(), err)
+		}
+		// Extensions must not leak into the paper-faithful registries.
+		for _, core := range All() {
+			if core.Name() == a.Name() {
+				t.Errorf("extension %s also in All()", a.Name())
+			}
+		}
+	}
+}
+
+func TestExtensionsPredictContract(t *testing.T) {
+	g := randomGraph(17, 40, 120)
+	opt := DefaultOptions()
+	for _, a := range Extensions() {
+		pred := a.Predict(g, 10, opt)
+		for _, p := range pred {
+			if g.HasEdge(p.U, p.V) {
+				t.Errorf("%s predicted existing edge %+v", a.Name(), p)
+			}
+		}
+		again := a.Predict(g, 10, opt)
+		for i := range pred {
+			if pred[i] != again[i] {
+				t.Errorf("%s non-deterministic", a.Name())
+			}
+		}
+	}
+}
+
+// Property: the normalized indices stay within their analytic ranges and
+// respect known dominance relations (HPI >= Salton >= HDI >= LHN·min-deg
+// relations are fiddly; we assert the simple bounds).
+func TestExtensionBoundsQuick(t *testing.T) {
+	opt := DefaultOptions()
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 25, 60)
+		var pairs []Pair
+		for u := 0; u < 25; u++ {
+			for v := u + 1; v < 25; v++ {
+				pairs = append(pairs, Pair{U: graph.NodeID(u), V: graph.NodeID(v)})
+			}
+		}
+		salton := Salton.ScorePairs(g, pairs, opt)
+		sorensen := Sorensen.ScorePairs(g, pairs, opt)
+		hpi := HPI.ScorePairs(g, pairs, opt)
+		hdi := HDI.ScorePairs(g, pairs, opt)
+		for i := range pairs {
+			for _, v := range []float64{salton[i], sorensen[i], hpi[i], hdi[i]} {
+				if v < 0 || v > 1+1e-12 {
+					return false
+				}
+			}
+			// HPI divides by the min degree, HDI by the max: HPI >= HDI.
+			if hpi[i]+1e-12 < hdi[i] {
+				return false
+			}
+			// Salton is the geometric-mean normalization, between the two.
+			if salton[i] > hpi[i]+1e-9 || salton[i]+1e-9 < hdi[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

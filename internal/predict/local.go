@@ -1,0 +1,176 @@
+package predict
+
+import (
+	"math"
+
+	"linkpred/internal/graph"
+)
+
+// localMetric is the family of neighborhood similarity metrics: CN, JC, AA,
+// RA and their Local Naive Bayes variants BCN, BAA, BRA (Table 3). All of
+// them are supported only on pairs sharing at least one common neighbor, so
+// Predict enumerates exactly the unconnected 2-hop pairs.
+type localMetric struct {
+	name string
+	// score computes the metric given the common neighbor list; nb is nil
+	// unless the metric is a naive Bayes variant.
+	score func(g *graph.Graph, nb *naiveBayes, u, v graph.NodeID, common []graph.NodeID) float64
+	// usesNB marks the BCN/BAA/BRA family, which needs triangle statistics.
+	usesNB bool
+}
+
+func (m *localMetric) Name() string { return m.name }
+
+func (m *localMetric) Predict(g *graph.Graph, k int, opt Options) []Pair {
+	validateOptions(opt)
+	var nb *naiveBayes
+	if m.usesNB {
+		nb = newNaiveBayes(g)
+	}
+	top := newTopK(k, opt.Seed)
+	twoHopPairs(g, func(u, v graph.NodeID) {
+		common := g.CommonNeighbors(u, v)
+		top.Add(u, v, m.score(g, nb, u, v, common))
+	})
+	return top.Result()
+}
+
+func (m *localMetric) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	var nb *naiveBayes
+	if m.usesNB {
+		nb = newNaiveBayes(g)
+	}
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		common := g.CommonNeighbors(p.U, p.V)
+		if len(common) == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = m.score(g, nb, p.U, p.V, common)
+	}
+	return out
+}
+
+// naiveBayes holds the per-snapshot statistics of the Local Naive Bayes
+// model (Liu et al. [26]): s = |V|(|V|-1)/(2|E|) - 1 and per-node role
+// ratios R_w = (N△w + 1)/(N∧w + 1), where N△w counts triangles through w
+// and N∧w counts open 2-paths centered at w.
+type naiveBayes struct {
+	logS float64
+	logR []float64
+}
+
+func newNaiveBayes(g *graph.Graph) *naiveBayes {
+	n := g.NumNodes()
+	tri3 := make([]int64, n) // 3x triangle count per node
+	for u := 0; u < n; u++ {
+		uid := graph.NodeID(u)
+		for _, v := range g.Neighbors(uid) {
+			if v <= uid {
+				continue
+			}
+			for _, w := range g.CommonNeighbors(uid, v) {
+				tri3[uid]++
+				tri3[v]++
+				tri3[w]++
+			}
+		}
+	}
+	nb := &naiveBayes{logR: make([]float64, n)}
+	nodes := float64(n)
+	edges := float64(g.NumEdges())
+	if edges > 0 {
+		s := nodes*(nodes-1)/(2*edges) - 1
+		if s > 0 {
+			nb.logS = math.Log(s)
+		}
+	}
+	for w := 0; w < n; w++ {
+		deg := int64(g.Degree(graph.NodeID(w)))
+		triangles := tri3[w] / 3
+		open := deg*(deg-1)/2 - triangles
+		if open < 0 {
+			open = 0
+		}
+		nb.logR[w] = math.Log(float64(triangles+1) / float64(open+1))
+	}
+	return nb
+}
+
+// The Table 3 formulations.
+
+func scoreCN(_ *graph.Graph, _ *naiveBayes, _, _ graph.NodeID, common []graph.NodeID) float64 {
+	return float64(len(common))
+}
+
+func scoreJC(g *graph.Graph, _ *naiveBayes, u, v graph.NodeID, common []graph.NodeID) float64 {
+	union := g.Degree(u) + g.Degree(v) - len(common)
+	if union == 0 {
+		return 0
+	}
+	return float64(len(common)) / float64(union)
+}
+
+func scoreAA(g *graph.Graph, _ *naiveBayes, _, _ graph.NodeID, common []graph.NodeID) float64 {
+	s := 0.0
+	for _, w := range common {
+		s += 1 / nonNegLog(float64(g.Degree(w)))
+	}
+	return s
+}
+
+func scoreRA(g *graph.Graph, _ *naiveBayes, _, _ graph.NodeID, common []graph.NodeID) float64 {
+	s := 0.0
+	for _, w := range common {
+		s += 1 / float64(g.Degree(w))
+	}
+	return s
+}
+
+func scoreBCN(_ *graph.Graph, nb *naiveBayes, _, _ graph.NodeID, common []graph.NodeID) float64 {
+	s := float64(len(common)) * nb.logS
+	for _, w := range common {
+		s += nb.logR[w]
+	}
+	return s
+}
+
+func scoreBAA(g *graph.Graph, nb *naiveBayes, _, _ graph.NodeID, common []graph.NodeID) float64 {
+	s := 0.0
+	for _, w := range common {
+		s += (nb.logS + nb.logR[w]) / nonNegLog(float64(g.Degree(w)))
+	}
+	return s
+}
+
+func scoreBRA(g *graph.Graph, nb *naiveBayes, _, _ graph.NodeID, common []graph.NodeID) float64 {
+	s := 0.0
+	for _, w := range common {
+		s += (nb.logS + nb.logR[w]) / float64(g.Degree(w))
+	}
+	return s
+}
+
+// The exported local algorithms.
+
+// CN is Common Neighbors [Newman 2001].
+var CN Algorithm = &localMetric{name: "CN", score: scoreCN}
+
+// JC is Jaccard's Coefficient.
+var JC Algorithm = &localMetric{name: "JC", score: scoreJC}
+
+// AA is the Adamic/Adar index.
+var AA Algorithm = &localMetric{name: "AA", score: scoreAA}
+
+// RA is the Resource Allocation index [Zhou et al. 2009].
+var RA Algorithm = &localMetric{name: "RA", score: scoreRA}
+
+// BCN is Local Naive Bayes Common Neighbors [Liu et al. 2011].
+var BCN Algorithm = &localMetric{name: "BCN", score: scoreBCN, usesNB: true}
+
+// BAA is Local Naive Bayes Adamic/Adar.
+var BAA Algorithm = &localMetric{name: "BAA", score: scoreBAA, usesNB: true}
+
+// BRA is Local Naive Bayes Resource Allocation.
+var BRA Algorithm = &localMetric{name: "BRA", score: scoreBRA, usesNB: true}

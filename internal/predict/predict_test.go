@@ -1,0 +1,383 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"linkpred/internal/graph"
+)
+
+// kite is a small fixture: a triangle 0-1-2 plus 3 connected to 1 and 2, and
+// a pendant 4 connected to 3.
+//
+//	0 - 1
+//	|   | \
+//	2 --+  3 - 4
+//	 \-----/
+func kite() *graph.Graph {
+	return graph.Build(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2},
+		{U: 1, V: 3}, {U: 2, V: 3}, {U: 3, V: 4},
+	})
+}
+
+func randomGraph(seed int64, n, m int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{
+			U: graph.NodeID(rng.Intn(n)), V: graph.NodeID(rng.Intn(n)), Time: int64(i),
+		})
+	}
+	return graph.Build(n, edges)
+}
+
+func scoreOne(t *testing.T, a Algorithm, g *graph.Graph, u, v graph.NodeID) float64 {
+	t.Helper()
+	s := a.ScorePairs(g, []Pair{{U: u, V: v}}, DefaultOptions())
+	return s[0]
+}
+
+func TestLocalMetricValues(t *testing.T) {
+	g := kite()
+	// Pair (0,3): common neighbors {1,2}, deg(0)=2, deg(3)=3.
+	if got := scoreOne(t, CN, g, 0, 3); got != 2 {
+		t.Errorf("CN(0,3) = %v, want 2", got)
+	}
+	// JC = |∩| / |∪| = 2 / (2+3-2) = 2/3.
+	if got := scoreOne(t, JC, g, 0, 3); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("JC(0,3) = %v, want 2/3", got)
+	}
+	// AA = 1/log(deg 1) + 1/log(deg 2) = 2/log(3).
+	if got, want := scoreOne(t, AA, g, 0, 3), 2/math.Log(3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AA(0,3) = %v, want %v", got, want)
+	}
+	// RA = 1/3 + 1/3.
+	if got := scoreOne(t, RA, g, 0, 3); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("RA(0,3) = %v, want 2/3", got)
+	}
+	// Pair (0,4): no common neighbors.
+	for _, a := range []Algorithm{CN, JC, AA, RA, BCN, BAA, BRA} {
+		if got := scoreOne(t, a, g, 0, 4); got != 0 {
+			t.Errorf("%s(0,4) = %v, want 0", a.Name(), got)
+		}
+	}
+}
+
+func TestNaiveBayesStats(t *testing.T) {
+	g := kite()
+	nb := newNaiveBayes(g)
+	// s = 5*4/(2*6) - 1 = 10/6*... = 20/12 - 1 = 2/3.
+	wantLogS := math.Log(5.0*4.0/(2.0*6.0) - 1)
+	if math.Abs(nb.logS-wantLogS) > 1e-12 {
+		t.Errorf("logS = %v, want %v", nb.logS, wantLogS)
+	}
+	// Node 1: deg 3, triangles through 1: (0,1,2) and (1,2,3) → 2.
+	// Open 2-paths: C(3,2) - 2 = 1. R = 3/2.
+	if got, want := nb.logR[1], math.Log(3.0/2.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("logR[1] = %v, want %v", got, want)
+	}
+	// Node 4: deg 1, no triangles, no open paths → R = 1.
+	if got := nb.logR[4]; math.Abs(got) > 1e-12 {
+		t.Errorf("logR[4] = %v, want 0", got)
+	}
+	// BCN(0,3) = 2*logS + logR[1] + logR[2].
+	want := 2*nb.logS + nb.logR[1] + nb.logR[2]
+	if got := scoreOne(t, BCN, g, 0, 3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("BCN(0,3) = %v, want %v", got, want)
+	}
+}
+
+func TestPredictBasicContract(t *testing.T) {
+	g := randomGraph(3, 40, 120)
+	opt := DefaultOptions()
+	opt.RandomCandidates = 500
+	for _, a := range All() {
+		pred := a.Predict(g, 10, opt)
+		if len(pred) > 10 {
+			t.Errorf("%s: returned %d > k pairs", a.Name(), len(pred))
+		}
+		seen := map[uint64]bool{}
+		for i, p := range pred {
+			if p.U >= p.V {
+				t.Errorf("%s: pair %d not canonical: %+v", a.Name(), i, p)
+			}
+			if g.HasEdge(p.U, p.V) {
+				t.Errorf("%s: predicted existing edge %+v", a.Name(), p)
+			}
+			if seen[p.Key()] {
+				t.Errorf("%s: duplicate prediction %+v", a.Name(), p)
+			}
+			seen[p.Key()] = true
+			if i > 0 && pred[i-1].Score < p.Score {
+				t.Errorf("%s: predictions not sorted: %v then %v", a.Name(), pred[i-1].Score, p.Score)
+			}
+		}
+		// Determinism.
+		again := a.Predict(g, 10, opt)
+		if len(again) != len(pred) {
+			t.Errorf("%s: non-deterministic prediction count", a.Name())
+			continue
+		}
+		for i := range pred {
+			if pred[i] != again[i] {
+				t.Errorf("%s: non-deterministic prediction %d: %+v vs %+v", a.Name(), i, pred[i], again[i])
+			}
+		}
+	}
+}
+
+// bruteForceTop computes the exact top-k of a ScorePairs-able algorithm over
+// all unconnected pairs.
+func bruteForceTop(g *graph.Graph, a Algorithm, k int, opt Options) []Pair {
+	var pairs []Pair
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(graph.NodeID(u), graph.NodeID(v)) {
+				pairs = append(pairs, Pair{U: graph.NodeID(u), V: graph.NodeID(v)})
+			}
+		}
+	}
+	scores := a.ScorePairs(g, pairs, opt)
+	top := newTopK(k, opt.Seed)
+	for i, p := range pairs {
+		top.Add(p.U, p.V, scores[i])
+	}
+	return top.Result()
+}
+
+// TestPredictMatchesBruteForce verifies that for the local metrics and PA,
+// Predict (with its candidate pruning) selects exactly the same pairs as
+// exhaustive scoring. Zero-scored pairs are excluded: Predict only ranks
+// supported candidates.
+func TestPredictMatchesBruteForce(t *testing.T) {
+	opt := DefaultOptions()
+	for _, seed := range []int64{1, 2, 3} {
+		g := randomGraph(seed, 30, 70)
+		for _, a := range []Algorithm{CN, JC, AA, RA, BCN, BAA, BRA, PA, LP, LRW} {
+			k := 8
+			pred := a.Predict(g, k, opt)
+			brute := bruteForceTop(g, a, k, opt)
+			// Compare the positively-scored prefix.
+			for i := 0; i < len(brute) && i < len(pred); i++ {
+				if brute[i].Score <= 0 {
+					break
+				}
+				if pred[i] != brute[i] {
+					t.Errorf("seed %d %s: rank %d mismatch: predict %+v brute %+v",
+						seed, a.Name(), i, pred[i], brute[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestTopKSelection(t *testing.T) {
+	top := newTopK(3, 7)
+	top.Add(0, 1, 5)
+	top.Add(0, 2, 1)
+	top.Add(0, 3, 9)
+	top.Add(0, 4, 7)
+	top.Add(0, 5, 3)
+	res := top.Result()
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	wantScores := []float64{9, 7, 5}
+	for i, w := range wantScores {
+		if res[i].Score != w {
+			t.Fatalf("result scores = %+v, want %v", res, wantScores)
+		}
+	}
+	// k=0 edge case.
+	empty := newTopK(0, 7)
+	empty.Add(0, 1, 1)
+	if len(empty.Result()) != 0 {
+		t.Error("k=0 should select nothing")
+	}
+}
+
+func TestTopKTieBreakDeterministic(t *testing.T) {
+	// All equal scores: selection must be a stable pseudo-random subset.
+	run := func() []Pair {
+		top := newTopK(5, 42)
+		for v := graph.NodeID(1); v < 100; v++ {
+			top.Add(0, v, 1.0)
+		}
+		return top.Result()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tie-break not deterministic: %+v vs %+v", a[i], b[i])
+		}
+	}
+	// Different seed should (overwhelmingly) give a different subset.
+	top := newTopK(5, 43)
+	for v := graph.NodeID(1); v < 100; v++ {
+		top.Add(0, v, 1.0)
+	}
+	c := top.Result()
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical tie-broken selection")
+	}
+}
+
+// Property: topK returns exactly the k highest-scored entries.
+func TestTopKQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(20)
+		top := newTopK(k, seed)
+		scores := make([]float64, n)
+		for i := 0; i < n; i++ {
+			scores[i] = float64(rng.Intn(50))
+			top.Add(0, graph.NodeID(i+1), scores[i])
+		}
+		res := top.Result()
+		want := min(k, n)
+		if len(res) != want {
+			return false
+		}
+		// The k-th best score must be <= every selected score; count check:
+		// number of entries strictly above the minimum selected score must
+		// be <= k and all of them selected.
+		minSel := res[len(res)-1].Score
+		strictlyAbove := 0
+		for _, s := range scores {
+			if s > minSel {
+				strictlyAbove++
+			}
+		}
+		if strictlyAbove > k {
+			return false
+		}
+		selAbove := 0
+		for _, p := range res {
+			if p.Score > minSel {
+				selAbove++
+			}
+		}
+		return selAbove == strictlyAbove
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoHopPairs(t *testing.T) {
+	g := kite()
+	got := map[uint64]bool{}
+	twoHopPairs(g, func(u, v graph.NodeID) {
+		if got[PairKey(u, v)] {
+			t.Errorf("duplicate 2-hop pair (%d,%d)", u, v)
+		}
+		got[PairKey(u, v)] = true
+	})
+	// Unconnected pairs at distance 2: (0,3) via 1/2; (1,4),(2,4) via 3.
+	want := []uint64{PairKey(0, 3), PairKey(1, 4), PairKey(2, 4)}
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d: %v", len(got), len(want), got)
+	}
+	for _, w := range want {
+		if !got[w] {
+			u, v := KeyPair(w)
+			t.Errorf("missing 2-hop pair (%d,%d)", u, v)
+		}
+	}
+}
+
+func TestRandomPrediction(t *testing.T) {
+	g := kite()
+	pred := RandomPrediction(g, 3, 9)
+	if len(pred) != 3 {
+		t.Fatalf("got %d pairs", len(pred))
+	}
+	seen := map[uint64]bool{}
+	for _, p := range pred {
+		if g.HasEdge(p.U, p.V) || p.U >= p.V {
+			t.Errorf("bad random pair %+v", p)
+		}
+		if seen[p.Key()] {
+			t.Errorf("duplicate random pair %+v", p)
+		}
+		seen[p.Key()] = true
+	}
+	// Requesting more than available clamps to the unconnected pair count.
+	all := RandomPrediction(g, 100, 9)
+	if int64(len(all)) != g.UnconnectedPairs() {
+		t.Errorf("clamp failed: %d pairs, want %d", len(all), g.UnconnectedPairs())
+	}
+}
+
+func TestAccuracyRatio(t *testing.T) {
+	g := kite() // 5 nodes, 6 edges → U = 10-6 = 4
+	if got := ExpectedRandomOverlap(g, 2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ExpectedRandomOverlap = %v, want 4/4 = 1", got)
+	}
+	if got := AccuracyRatio(2, 2, g); math.Abs(got-2) > 1e-12 {
+		t.Errorf("AccuracyRatio = %v, want 2", got)
+	}
+	complete := graph.Build(3, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}})
+	if got := AccuracyRatio(1, 1, complete); got != 0 {
+		t.Errorf("AccuracyRatio on complete graph = %v, want 0", got)
+	}
+}
+
+func TestTruthSet(t *testing.T) {
+	g := kite()
+	newEdges := []graph.Edge{
+		{U: 0, V: 3},  // valid new link
+		{U: 0, V: 1},  // already connected: excluded
+		{U: 0, V: 17}, // endpoint beyond snapshot: excluded
+	}
+	truth := TruthSet(g, newEdges)
+	if len(truth) != 1 || !truth[PairKey(0, 3)] {
+		t.Fatalf("truth = %v", truth)
+	}
+	if got := CountCorrect([]Pair{{U: 0, V: 3}, {U: 1, V: 4}}, truth); got != 1 {
+		t.Errorf("CountCorrect = %d, want 1", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		got, err := ByName(a.Name())
+		if err != nil || got.Name() != a.Name() {
+			t.Errorf("ByName(%q) failed: %v", a.Name(), err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestPairKeyRoundTrip(t *testing.T) {
+	f := func(u, v int32) bool {
+		if u < 0 {
+			u = -u
+		}
+		if v < 0 {
+			v = -v
+		}
+		if u == v {
+			return true
+		}
+		a, b := KeyPair(PairKey(u, v))
+		return a == min(u, v) && b == max(u, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

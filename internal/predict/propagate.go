@@ -1,0 +1,62 @@
+package predict
+
+import "linkpred/internal/graph"
+
+// sparseVec is a reusable dense-array sparse vector: values plus a touched
+// list for O(support) reset, the workhorse of the walk- and path-counting
+// algorithms (LP, LRW, PPR, Katz_sc columns).
+type sparseVec struct {
+	val     []float64
+	touched []graph.NodeID
+	mark    []bool
+}
+
+func newSparseVec(n int) *sparseVec {
+	return &sparseVec{val: make([]float64, n), mark: make([]bool, n)}
+}
+
+func (s *sparseVec) add(i graph.NodeID, v float64) {
+	if !s.mark[i] {
+		s.mark[i] = true
+		s.touched = append(s.touched, i)
+	}
+	s.val[i] += v
+}
+
+func (s *sparseVec) reset() {
+	for _, i := range s.touched {
+		s.val[i] = 0
+		s.mark[i] = false
+	}
+	s.touched = s.touched[:0]
+}
+
+// propagate computes dst = A * src over the graph adjacency, accumulating
+// into dst (which should be reset by the caller first).
+func propagate(g *graph.Graph, src, dst *sparseVec) {
+	for _, x := range src.touched {
+		v := src.val[x]
+		if v == 0 {
+			continue
+		}
+		for _, y := range g.Neighbors(x) {
+			dst.add(y, v)
+		}
+	}
+}
+
+// propagateWalk computes dst = P^T * src where P is the random-walk
+// transition matrix (src mass at x spreads as src[x]/deg(x) to neighbors).
+func propagateWalk(g *graph.Graph, src, dst *sparseVec) {
+	for _, x := range src.touched {
+		v := src.val[x]
+		d := g.Degree(x)
+		if v == 0 || d == 0 {
+			continue
+		}
+		share := v / float64(d)
+		for _, y := range g.Neighbors(x) {
+			dst.add(y, share)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package predict
+
+import (
+	"fmt"
+	"math/rand"
+
+	"linkpred/internal/graph"
+)
+
+// All returns every implemented metric-based algorithm, including both Katz
+// approximations (the paper's 14 metrics of Table 3, with Katz counted once
+// but implemented twice as Katz_lr and Katz_sc).
+func All() []Algorithm {
+	return []Algorithm{CN, JC, AA, RA, BCN, BAA, BRA, PA, SP, LP, KatzLR, KatzSC, PPR, LRW, Rescal}
+}
+
+// FeatureSet returns the 14 metrics used as classifier input features (§5),
+// using Katz_lr as "Katz" exactly as the paper does after §4.2.
+func FeatureSet() []Algorithm {
+	return []Algorithm{CN, JC, AA, RA, BCN, BAA, BRA, PA, SP, LP, KatzLR, PPR, LRW, Rescal}
+}
+
+// Figure5Set returns the algorithms plotted in Figure 5 (CN, AA, RA omitted
+// in favour of their naive Bayes variants, both Katz variants included).
+func Figure5Set() []Algorithm {
+	return []Algorithm{JC, BCN, BAA, BRA, PA, SP, LP, KatzLR, KatzSC, PPR, LRW, Rescal}
+}
+
+// ByName resolves an algorithm by its paper abbreviation, searching the
+// evaluated set first and then the survey extensions.
+func ByName(name string) (Algorithm, error) {
+	for _, a := range All() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	for _, a := range Extensions() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	for _, a := range Comparators() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("predict: unknown algorithm %q", name)
+}
+
+// RandomPrediction draws k distinct unconnected pairs uniformly at random,
+// the paper's baseline predictor (§4.1).
+func RandomPrediction(g *graph.Graph, k int, seed int64) []Pair {
+	n := g.NumNodes()
+	if n < 2 || k <= 0 {
+		return nil
+	}
+	if int64(k) > g.UnconnectedPairs() {
+		k = int(g.UnconnectedPairs())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint64]bool, k)
+	out := make([]Pair, 0, k)
+	for len(out) < k {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		key := PairKey(u, v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Pair{U: minID(u, v), V: maxID(u, v)})
+	}
+	return out
+}
+
+// Comparators returns reference implementations used to validate the
+// paper's approximations (currently the truncated-exact Katz).
+func Comparators() []Algorithm {
+	return []Algorithm{KatzExact}
+}

@@ -1,0 +1,232 @@
+package predict
+
+import (
+	"sort"
+
+	"linkpred/internal/graph"
+)
+
+// lrwAlgorithm is the Local Random Walk index [Liu & Lü 2010]:
+//
+//	score(u,v) = deg(u)/(2|E|) π_uv(m) + deg(v)/(2|E|) π_vu(m)
+//
+// where π_uv(m) is the probability of an m-step random walk from u ending
+// at v. Because the walk is reversible with respect to the degree
+// distribution, deg(u) π_uv(m) = deg(v) π_vu(m) exactly, so the score equals
+// deg(u) π_uv(m)/|E| and one propagation direction suffices.
+type lrwAlgorithm struct{}
+
+// LRW is the Local Random Walk algorithm.
+var LRW Algorithm = lrwAlgorithm{}
+
+func (lrwAlgorithm) Name() string { return "LRW" }
+
+func steps(opt Options) int {
+	if opt.LRWSteps <= 0 {
+		return 3
+	}
+	return opt.LRWSteps
+}
+
+// lrwDistribution fills dst with π_u·(m), reusing cur/next as scratch.
+func lrwDistribution(g *graph.Graph, u graph.NodeID, m int, cur, next *sparseVec) *sparseVec {
+	cur.reset()
+	cur.add(u, 1)
+	for s := 0; s < m; s++ {
+		next.reset()
+		propagateWalk(g, cur, next)
+		cur, next = next, cur
+	}
+	return cur
+}
+
+func (lrwAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
+	validateOptions(opt)
+	n := g.NumNodes()
+	edges := float64(g.NumEdges())
+	if edges == 0 {
+		return nil
+	}
+	m := steps(opt)
+	top := newTopK(k, opt.Seed)
+	cur, next := newSparseVec(n), newSparseVec(n)
+	for u := 0; u < n; u++ {
+		uid := graph.NodeID(u)
+		du := float64(g.Degree(uid))
+		if du == 0 {
+			continue
+		}
+		dist := lrwDistribution(g, uid, m, cur, next)
+		for _, v := range dist.touched {
+			if v <= uid || g.HasEdge(uid, v) {
+				continue
+			}
+			top.Add(uid, v, du*dist.val[v]/edges)
+		}
+	}
+	return top.Result()
+}
+
+func (lrwAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	n := g.NumNodes()
+	edges := float64(g.NumEdges())
+	m := steps(opt)
+	out := make([]float64, len(pairs))
+	if edges == 0 {
+		return out
+	}
+	idx := make([]int, len(pairs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return pairs[idx[a]].U < pairs[idx[b]].U })
+	cur, next := newSparseVec(n), newSparseVec(n)
+	var dist *sparseVec
+	curU := graph.NodeID(-1)
+	for _, i := range idx {
+		p := pairs[i]
+		if p.U != curU {
+			curU = p.U
+			dist = lrwDistribution(g, curU, m, cur, next)
+		}
+		out[i] = float64(g.Degree(p.U)) * dist.val[p.V] / edges
+	}
+	return out
+}
+
+// pprAlgorithm is Personalized PageRank: score(u,v) = π_uv + π_vu with
+// restart probability α, estimated with the Andersen-Chung-Lang forward-push
+// local approximation. Predict accumulates π contributions from every
+// source's push into a global pair map, keeping the strongest
+// PPRPerSource targets per source to bound memory (documented deviation:
+// targets below a source's top block cannot enter the global top-k at the
+// k values the paper's methodology uses).
+type pprAlgorithm struct{}
+
+// PPR is the Personalized PageRank algorithm.
+var PPR Algorithm = pprAlgorithm{}
+
+// pprPerSource bounds retained targets per push source in Predict.
+const pprPerSource = 256
+
+func (pprAlgorithm) Name() string { return "PPR" }
+
+// pprPush runs forward push from u, leaving the estimate in p. A
+// non-positive eps would make the push loop until float underflow, so it
+// falls back to the default threshold.
+func pprPush(g *graph.Graph, u graph.NodeID, alpha, eps float64, p, r *sparseVec, queue *[]graph.NodeID) {
+	if eps <= 0 {
+		eps = 1e-5
+	}
+	p.reset()
+	r.reset()
+	r.add(u, 1)
+	q := (*queue)[:0]
+	q = append(q, u)
+	inQueue := map[graph.NodeID]bool{u: true}
+	for len(q) > 0 {
+		x := q[0]
+		q = q[1:]
+		delete(inQueue, x)
+		rx := r.val[x]
+		d := g.Degree(x)
+		if d == 0 {
+			// Dangling mass restarts at the source.
+			p.add(x, rx)
+			r.val[x] = 0
+			continue
+		}
+		if rx < eps*float64(d) {
+			continue
+		}
+		p.add(x, alpha*rx)
+		share := (1 - alpha) * rx / float64(d)
+		r.val[x] = 0
+		for _, y := range g.Neighbors(x) {
+			r.add(y, share)
+			if r.val[y] >= eps*float64(g.Degree(y)) && !inQueue[y] {
+				inQueue[y] = true
+				q = append(q, y)
+			}
+		}
+	}
+	*queue = q[:0]
+}
+
+func (pprAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
+	validateOptions(opt)
+	n := g.NumNodes()
+	acc := make(map[uint64]float64)
+	p, r := newSparseVec(n), newSparseVec(n)
+	queue := make([]graph.NodeID, 0, 1024)
+	type hit struct {
+		v graph.NodeID
+		s float64
+	}
+	hits := make([]hit, 0, 1024)
+	for u := 0; u < n; u++ {
+		uid := graph.NodeID(u)
+		if g.Degree(uid) == 0 {
+			continue
+		}
+		pprPush(g, uid, opt.PPRAlpha, opt.PPREps, p, r, &queue)
+		hits = hits[:0]
+		for _, v := range p.touched {
+			if v == uid || g.HasEdge(uid, v) {
+				continue
+			}
+			hits = append(hits, hit{v: v, s: p.val[v]})
+		}
+		if len(hits) > pprPerSource {
+			sort.Slice(hits, func(a, b int) bool { return hits[a].s > hits[b].s })
+			hits = hits[:pprPerSource]
+		}
+		for _, h := range hits {
+			acc[PairKey(uid, h.v)] += h.s
+		}
+	}
+	top := newTopK(k, opt.Seed)
+	for key, s := range acc {
+		u, v := KeyPair(key)
+		top.Add(u, v, s)
+	}
+	return top.Result()
+}
+
+func (pprAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	n := g.NumNodes()
+	out := make([]float64, len(pairs))
+	p, r := newSparseVec(n), newSparseVec(n)
+	queue := make([]graph.NodeID, 0, 1024)
+	// Two passes: once grouped by U adding π_u[v], once grouped by V adding
+	// π_v[u]; both share the push cache keyed on the group node.
+	for pass := 0; pass < 2; pass++ {
+		idx := make([]int, len(pairs))
+		for i := range idx {
+			idx[i] = i
+		}
+		src := func(pr Pair) graph.NodeID {
+			if pass == 0 {
+				return pr.U
+			}
+			return pr.V
+		}
+		dst := func(pr Pair) graph.NodeID {
+			if pass == 0 {
+				return pr.V
+			}
+			return pr.U
+		}
+		sort.Slice(idx, func(a, b int) bool { return src(pairs[idx[a]]) < src(pairs[idx[b]]) })
+		cur := graph.NodeID(-1)
+		for _, i := range idx {
+			s := src(pairs[i])
+			if s != cur {
+				cur = s
+				pprPush(g, cur, opt.PPRAlpha, opt.PPREps, p, r, &queue)
+			}
+			out[i] += p.val[dst(pairs[i])]
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package temporal
+
+import (
+	"math/rand"
+	"sort"
+
+	"linkpred/internal/graph"
+	"linkpred/internal/predict"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples, used to
+// reproduce the paper's temporal-property figures (Figs. 8, 13, 14, 15).
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds the distribution from samples (copied, then sorted).
+func NewCDF(samples []float64) CDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return CDF{sorted: s}
+}
+
+// Len returns the sample count.
+func (c CDF) Len() int { return len(c.sorted) }
+
+// FractionBelow returns P(X <= x).
+func (c CDF) FractionBelow(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	// Include equal values.
+	for i < len(c.sorted) && c.sorted[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1).
+func (c CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(c.sorted)-1))
+	return c.sorted[i]
+}
+
+// PairSamples builds the positive and negative node-pair sets of §6.1:
+// positives are the pairs (both already in g, unconnected) that connect in
+// the prediction window; negatives are uniformly sampled unconnected pairs
+// that do not.
+func PairSamples(g *graph.Graph, newEdges []graph.Edge, nNeg int, seed int64) (pos, neg []predict.Pair) {
+	truth := predict.TruthSet(g, newEdges)
+	for key := range truth {
+		u, v := predict.KeyPair(key)
+		pos = append(pos, predict.Pair{U: u, V: v})
+	}
+	sort.Slice(pos, func(i, j int) bool { return pos[i].Key() < pos[j].Key() })
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	seen := make(map[uint64]bool, nNeg)
+	for len(neg) < nNeg && len(seen) < 20*nNeg {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		key := predict.PairKey(u, v)
+		if seen[key] || truth[key] {
+			continue
+		}
+		seen[key] = true
+		neg = append(neg, predict.Pair{U: predictMin(u, v), V: predictMax(u, v)})
+	}
+	return pos, neg
+}
+
+func predictMin(a, b graph.NodeID) graph.NodeID {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func predictMax(a, b graph.NodeID) graph.NodeID {
+	if a < b {
+		return b
+	}
+	return a
+}
+
+// ActiveIdleDays returns, per pair, the idle time of the more recently
+// active endpoint (Fig. 13).
+func (tk *Tracker) ActiveIdleDays(pairs []predict.Pair, t int64) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		a, b := tk.IdleDays(p.U, t), tk.IdleDays(p.V, t)
+		out[i] = min(a, b)
+	}
+	return out
+}
+
+// InactiveIdleDays returns, per pair, the idle time of the less recently
+// active endpoint.
+func (tk *Tracker) InactiveIdleDays(pairs []predict.Pair, t int64) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		a, b := tk.IdleDays(p.U, t), tk.IdleDays(p.V, t)
+		out[i] = max(a, b)
+	}
+	return out
+}
+
+// ActiveNewEdgeCounts returns, per pair, the number of edges the active
+// endpoint created in the last `days` days (Fig. 14).
+func (tk *Tracker) ActiveNewEdgeCounts(pairs []predict.Pair, t int64, days int) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		act := p.U
+		if tk.IdleDays(p.V, t) < tk.IdleDays(p.U, t) {
+			act = p.V
+		}
+		out[i] = float64(tk.NewEdgeCount(act, t, days))
+	}
+	return out
+}
+
+// CNGaps returns, per pair, the common-neighbor time gap in days (Fig. 15).
+// Pairs without common neighbors yield InfDays.
+func (tk *Tracker) CNGaps(g *graph.Graph, pairs []predict.Pair, t int64) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = tk.CNGapDays(g, p.U, p.V, t)
+	}
+	return out
+}
+
+// PairIdleDays returns the idle days of every node appearing in the pairs,
+// one sample per pair endpoint occurrence (Fig. 8's "nodes in predicted
+// edges" distribution).
+func (tk *Tracker) PairIdleDays(pairs []predict.Pair, t int64) []float64 {
+	out := make([]float64, 0, 2*len(pairs))
+	for _, p := range pairs {
+		out = append(out, tk.IdleDays(p.U, t), tk.IdleDays(p.V, t))
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package temporal
+
+import (
+	"math"
+	"testing"
+
+	"linkpred/internal/gen"
+	"linkpred/internal/graph"
+	"linkpred/internal/predict"
+)
+
+// fixtureTrace: nodes 0..4. Edge times chosen in days for readable queries.
+func fixtureTrace() *graph.Trace {
+	d := graph.Day
+	return &graph.Trace{
+		Name:    "fixture",
+		Arrival: []int64{0, 0, 0, 0, 0},
+		Edges: []graph.Edge{
+			{U: 0, V: 1, Time: 1 * d},
+			{U: 1, V: 2, Time: 3 * d},
+			{U: 0, V: 2, Time: 5 * d},
+			{U: 2, V: 3, Time: 8 * d},
+			{U: 3, V: 4, Time: 20 * d},
+		},
+	}
+}
+
+func TestIdleDays(t *testing.T) {
+	tk := NewTracker(fixtureTrace())
+	d := graph.Day
+	// As of day 10: node 0's last edge at day 5 → idle 5.
+	if got := tk.IdleDays(0, 10*d); got != 5 {
+		t.Errorf("IdleDays(0) = %v, want 5", got)
+	}
+	// Node 4's first edge is at day 20: as of day 10 it has never acted.
+	if got := tk.IdleDays(4, 10*d); got != InfDays {
+		t.Errorf("IdleDays(4) = %v, want InfDays", got)
+	}
+	// As of day 20 node 4 acted at day 20 → idle 0 (event at t counts).
+	if got := tk.IdleDays(4, 20*d); got != 0 {
+		t.Errorf("IdleDays(4)@20 = %v, want 0", got)
+	}
+}
+
+func TestNewEdgeCount(t *testing.T) {
+	tk := NewTracker(fixtureTrace())
+	d := graph.Day
+	// Node 2 edges at days 3, 5, 8. Window (3,10] → days 5 and 8.
+	if got := tk.NewEdgeCount(2, 10*d, 7); got != 2 {
+		t.Errorf("NewEdgeCount = %d, want 2", got)
+	}
+	if got := tk.NewEdgeCount(2, 10*d, 100); got != 3 {
+		t.Errorf("NewEdgeCount wide = %d, want 3", got)
+	}
+	if got := tk.NewEdgeCount(4, 10*d, 7); got != 0 {
+		t.Errorf("NewEdgeCount future node = %d, want 0", got)
+	}
+}
+
+func TestCNGapDays(t *testing.T) {
+	tr := fixtureTrace()
+	tk := NewTracker(tr)
+	d := graph.Day
+	g := tr.SnapshotAtTime(10 * d)
+	// Pair (0,3): common neighbor 2; (0,2) at day 5, (2,3) at day 8 →
+	// completed day 8. As of day 10 → gap 2.
+	if got := tk.CNGapDays(g, 0, 3, 10*d); got != 2 {
+		t.Errorf("CNGapDays(0,3) = %v, want 2", got)
+	}
+	// Pair (1,3): common neighbor 2; (1,2) day 3, (2,3) day 8 → gap 2.
+	if got := tk.CNGapDays(g, 1, 3, 10*d); got != 2 {
+		t.Errorf("CNGapDays(1,3) = %v, want 2", got)
+	}
+	// Pair (0,4): node 4 isolated in g → no common neighbor.
+	if got := tk.CNGapDays(g, 0, 4, 10*d); got != InfDays {
+		t.Errorf("CNGapDays(0,4) = %v, want InfDays", got)
+	}
+}
+
+func TestNoLookahead(t *testing.T) {
+	tr := fixtureTrace()
+	tk := NewTracker(tr)
+	d := graph.Day
+	// As of day 6, the day-8 and day-20 edges must be invisible.
+	if got := tk.IdleDays(3, 6*d); got != InfDays {
+		t.Errorf("IdleDays(3)@6 = %v, want InfDays (first edge at day 8)", got)
+	}
+	if got := tk.NewEdgeCount(3, 6*d, 100); got != 0 {
+		t.Errorf("NewEdgeCount(3)@6 = %d, want 0", got)
+	}
+	g := tr.SnapshotAtTime(6 * d)
+	if got := tk.CNGapDays(g, 0, 3, 6*d); got != InfDays {
+		t.Errorf("CNGapDays@6 = %v, want InfDays", got)
+	}
+}
+
+func TestPass(t *testing.T) {
+	tr := fixtureTrace()
+	tk := NewTracker(tr)
+	d := graph.Day
+	g := tr.SnapshotAtTime(10 * d)
+	fc := FilterConfig{ActIdleDays: 5, InactIdleDays: 10, WindowDays: 7, MinNewEdges: 2, CNGapDays: 5}
+	// Pair (0,3): idle(0)=5 (not < 5) → fails on active idle? idle(3)=2 is
+	// smaller → active is 3 with idle 2 < 5 OK; inactive 0 idle 5 < 10 OK;
+	// active node 3 created 1 edge in last 7 days < 2 → fail.
+	if tk.Pass(g, 0, 3, 10*d, fc) {
+		t.Error("pair (0,3) should fail the new-edge criterion")
+	}
+	// Pair (1,3): idle(1)=7, idle(3)=2 → active 3 idle 2 OK; inactive 7 <
+	// 10 OK; active edges in window = 1 < 2 → fail. Relax MinNewEdges.
+	fc.MinNewEdges = 1
+	if !tk.Pass(g, 1, 3, 10*d, fc) {
+		t.Error("pair (1,3) should pass with MinNewEdges=1")
+	}
+	// CN gap criterion: tighten to 1 day → (1,3) has gap 2 → fail.
+	fc.CNGapDays = 1
+	if tk.Pass(g, 1, 3, 10*d, fc) {
+		t.Error("pair (1,3) should fail the CN-gap criterion")
+	}
+	// Pairs beyond two hops skip the CN criterion (footnote 5): (0,4) has
+	// no common neighbor; only the activity criteria apply. Node 4 has no
+	// activity → fails inactive idle anyway.
+	if tk.Pass(g, 0, 4, 10*d, fc) {
+		t.Error("pair (0,4) should fail idle criteria")
+	}
+}
+
+func TestConfigFor(t *testing.T) {
+	fb := ConfigFor("facebook")
+	if fb.ActIdleDays != 15 || fb.InactIdleDays != 40 || fb.WindowDays != 21 || fb.MinNewEdges != 2 || fb.CNGapDays != 40 {
+		t.Errorf("facebook config = %+v", fb)
+	}
+	rr := ConfigFor("renren")
+	if rr.ActIdleDays != 3 || rr.CNGapDays != 10 {
+		t.Errorf("renren config = %+v", rr)
+	}
+	yt := ConfigFor("youtube")
+	if yt.InactIdleDays != 30 || yt.MinNewEdges != 3 {
+		t.Errorf("youtube config = %+v", yt)
+	}
+	if def := ConfigFor("other"); def.ActIdleDays <= 0 {
+		t.Errorf("default config = %+v", def)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3, 10})
+	if got := c.FractionBelow(2); math.Abs(got-3.0/5.0) > 1e-12 {
+		t.Errorf("FractionBelow(2) = %v, want 0.6", got)
+	}
+	if got := c.FractionBelow(0); got != 0 {
+		t.Errorf("FractionBelow(0) = %v", got)
+	}
+	if got := c.FractionBelow(100); got != 1 {
+		t.Errorf("FractionBelow(100) = %v", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v", got)
+	}
+	if got := c.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %v", got)
+	}
+	empty := NewCDF(nil)
+	if empty.FractionBelow(1) != 0 || empty.Quantile(0.5) != 0 {
+		t.Error("empty CDF should return zeros")
+	}
+}
+
+func TestPairSamples(t *testing.T) {
+	tr := fixtureTrace()
+	d := graph.Day
+	g := tr.SnapshotAtTime(8 * d) // nodes 0..4, edges through day 8
+	newEdges := []graph.Edge{{U: 3, V: 4, Time: 20 * d}}
+	pos, neg := PairSamples(g, newEdges, 3, 1)
+	if len(pos) != 1 || pos[0] != (predict.Pair{U: 3, V: 4}) {
+		t.Fatalf("pos = %+v", pos)
+	}
+	if len(neg) != 3 {
+		t.Fatalf("neg = %+v", neg)
+	}
+	for _, p := range neg {
+		if g.HasEdge(p.U, p.V) || p.Key() == pos[0].Key() {
+			t.Errorf("bad negative %+v", p)
+		}
+	}
+}
+
+// TestPositiveNegativeSeparation reproduces the §6.1 observation on a
+// generated trace: positive pairs have far smaller active-node idle times
+// and CN gaps than negative pairs.
+func TestPositiveNegativeSeparation(t *testing.T) {
+	cfg := gen.Renren(17).Scaled(0.2)
+	tr := gen.MustGenerate(cfg)
+	cuts := tr.Cuts(gen.DefaultDelta(cfg))
+	i := len(cuts) - 2
+	g := tr.SnapshotAtEdge(cuts[i].EdgeCount)
+	newEdges := tr.NewEdgesBetween(cuts[i], cuts[i+1])
+	pos, neg := PairSamples(g, newEdges, 2000, 5)
+	tk := NewTracker(tr)
+	tm := cuts[i].Time
+
+	posIdle := NewCDF(tk.ActiveIdleDays(pos, tm))
+	negIdle := NewCDF(tk.ActiveIdleDays(neg, tm))
+	// Positives: most have short idle; negatives: far fewer.
+	pShort := posIdle.FractionBelow(3)
+	nShort := negIdle.FractionBelow(3)
+	if pShort <= nShort {
+		t.Errorf("idle separation missing: pos %.3f <= neg %.3f below 3 days", pShort, nShort)
+	}
+
+	posGap := NewCDF(tk.CNGaps(g, pos, tm))
+	negGap := NewCDF(tk.CNGaps(g, neg, tm))
+	pGap := posGap.FractionBelow(10)
+	nGap := negGap.FractionBelow(10)
+	if pGap <= nGap {
+		t.Errorf("CN-gap separation missing: pos %.3f <= neg %.3f below 10 days", pGap, nGap)
+	}
+
+	posNew := NewCDF(tk.ActiveNewEdgeCounts(pos, tm, 7))
+	negNew := NewCDF(tk.ActiveNewEdgeCounts(neg, tm, 7))
+	// More new edges for positives: fraction with >= 3 should be higher.
+	pMany := 1 - posNew.FractionBelow(2.5)
+	nMany := 1 - negNew.FractionBelow(2.5)
+	if pMany <= nMany {
+		t.Errorf("new-edge separation missing: pos %.3f <= neg %.3f with >=3 edges", pMany, nMany)
+	}
+}
+
+func TestFilteredPredict(t *testing.T) {
+	cfg := gen.Renren(23).Scaled(0.15)
+	tr := gen.MustGenerate(cfg)
+	cuts := tr.Cuts(gen.DefaultDelta(cfg))
+	i := len(cuts) - 2
+	g := tr.SnapshotAtEdge(cuts[i].EdgeCount)
+	tk := NewTracker(tr)
+	fc := ConfigFor("renren")
+	opt := predict.DefaultOptions()
+	k := 50
+	pred := FilteredPredict(predict.BRA, g, tk, cuts[i].Time, k, fc, opt)
+	if len(pred) > k {
+		t.Fatalf("got %d predictions, want <= %d", len(pred), k)
+	}
+	for _, p := range pred {
+		if !tk.Pass(g, p.U, p.V, cuts[i].Time, fc) {
+			t.Errorf("filtered prediction %+v fails the filter", p)
+		}
+		if g.HasEdge(p.U, p.V) {
+			t.Errorf("filtered prediction %+v already connected", p)
+		}
+	}
+}
+
+func TestFilterPairsPreservesOrder(t *testing.T) {
+	tr := fixtureTrace()
+	tk := NewTracker(tr)
+	d := graph.Day
+	g := tr.SnapshotAtTime(10 * d)
+	pairs := []predict.Pair{{U: 0, V: 3, Score: 5}, {U: 1, V: 3, Score: 4}, {U: 0, V: 4, Score: 3}}
+	fc := FilterConfig{ActIdleDays: 100, InactIdleDays: 100, WindowDays: 30, MinNewEdges: 1, CNGapDays: 100}
+	kept := tk.FilterPairs(g, pairs, 10*d, fc)
+	// (0,4) fails: node 4 never active → inactive idle is InfDays.
+	if len(kept) != 2 || kept[0].Score != 5 || kept[1].Score != 4 {
+		t.Fatalf("kept = %+v", kept)
+	}
+}

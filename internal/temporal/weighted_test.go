@@ -1,0 +1,128 @@
+package temporal
+
+import (
+	"math"
+	"testing"
+
+	"linkpred/internal/gen"
+	"linkpred/internal/graph"
+	"linkpred/internal/predict"
+)
+
+// weightedFixture: two structurally identical open triads, one built from
+// fresh edges (days 99-100) and one from stale edges (days 1-2).
+//
+//	fresh: 0-1, 1-2 (u=0, v=2 share neighbor 1)
+//	stale: 3-4, 4-5
+func weightedFixture() (*graph.Trace, *graph.Graph) {
+	d := graph.Day
+	tr := &graph.Trace{
+		Name:    "weighted",
+		Arrival: []int64{0, 0, 0, 0, 0, 0},
+		Edges: []graph.Edge{
+			{U: 3, V: 4, Time: 1 * d},
+			{U: 4, V: 5, Time: 2 * d},
+			{U: 0, V: 1, Time: 99 * d},
+			{U: 1, V: 2, Time: 100 * d},
+		},
+	}
+	g := tr.SnapshotAtTime(100 * d)
+	return tr, g
+}
+
+func TestWeightedRecencyOrdering(t *testing.T) {
+	tr, g := weightedFixture()
+	tk := NewTracker(tr)
+	for _, mk := range []func(*Tracker, float64) *WeightedMetric{NewWeightedCN, NewWeightedAA, NewWeightedRA} {
+		m := mk(tk, 30)
+		scores := m.ScorePairs(g, []predict.Pair{{U: 0, V: 2}, {U: 3, V: 5}}, predict.DefaultOptions())
+		if scores[0] <= scores[1] {
+			t.Errorf("%s: fresh triad %v should outscore stale %v", m.Name(), scores[0], scores[1])
+		}
+		if scores[1] <= 0 {
+			t.Errorf("%s: stale triad score %v should stay positive", m.Name(), scores[1])
+		}
+	}
+}
+
+func TestWeightedCNValue(t *testing.T) {
+	tr, g := weightedFixture()
+	tk := NewTracker(tr)
+	m := NewWeightedCN(tk, 30)
+	// Pair (0,2) via neighbor 1: edge (0,1) age 1 day, edge (1,2) age 0.
+	want := (math.Exp(-1.0/30) + 1) / 2
+	got := m.ScorePairs(g, []predict.Pair{{U: 0, V: 2}}, predict.DefaultOptions())[0]
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("WCN = %v, want %v", got, want)
+	}
+}
+
+func TestWeightedDegreesNormalize(t *testing.T) {
+	// Star center w with many leaves, all fresh: WRA divides by deg(w).
+	d := graph.Day
+	var edges []graph.Edge
+	for i := 1; i <= 5; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: graph.NodeID(i), Time: int64(i) * d})
+	}
+	tr := &graph.Trace{Name: "star", Arrival: make([]int64, 6), Edges: edges}
+	g := tr.SnapshotAtTime(5 * d)
+	tk := NewTracker(tr)
+	ra := NewWeightedRA(tk, 1e9) // effectively unweighted
+	cn := NewWeightedCN(tk, 1e9)
+	pair := []predict.Pair{{U: 1, V: 2}}
+	sRA := ra.ScorePairs(g, pair, predict.DefaultOptions())[0]
+	sCN := cn.ScorePairs(g, pair, predict.DefaultOptions())[0]
+	if math.Abs(sCN-1) > 1e-6 {
+		t.Errorf("WCN with huge tau = %v, want ~1", sCN)
+	}
+	if math.Abs(sRA-1.0/5.0) > 1e-6 {
+		t.Errorf("WRA = %v, want 1/deg(0) = 0.2", sRA)
+	}
+}
+
+func TestWeightedPredictContract(t *testing.T) {
+	tr := gen.MustGenerate(gen.Renren(3).Scaled(0.08))
+	g := tr.SnapshotAtEdge(tr.NumEdges() * 3 / 4)
+	tk := NewTracker(tr)
+	opt := predict.DefaultOptions()
+	for _, m := range WeightedMetrics(tk) {
+		pred := m.Predict(g, 20, opt)
+		if len(pred) == 0 {
+			t.Fatalf("%s: no predictions", m.Name())
+		}
+		for _, p := range pred {
+			if g.HasEdge(p.U, p.V) {
+				t.Errorf("%s predicted existing edge", m.Name())
+			}
+		}
+		again := m.Predict(g, 20, opt)
+		for i := range pred {
+			if pred[i] != again[i] {
+				t.Errorf("%s not deterministic", m.Name())
+			}
+		}
+	}
+}
+
+// TestWeightedReducesDormancyBias: the recency-weighted RA should select
+// pairs with fresher neighborhoods than plain RA — the §6-motivated fix for
+// the Fig. 8 bias.
+func TestWeightedReducesDormancyBias(t *testing.T) {
+	cfg := gen.Renren(19).Scaled(0.2)
+	tr := gen.MustGenerate(cfg)
+	cuts := tr.Cuts(gen.DefaultDelta(cfg))
+	i := len(cuts) - 2
+	g := tr.SnapshotAtEdge(cuts[i].EdgeCount)
+	tm := cuts[i].Time
+	tk := NewTracker(tr)
+	opt := predict.DefaultOptions()
+	k := 150
+	plain := predict.RA.Predict(g, k, opt)
+	weighted := NewWeightedRA(tk, 30).Predict(g, k, opt)
+	plainIdle := NewCDF(tk.PairIdleDays(plain, tm))
+	weightedIdle := NewCDF(tk.PairIdleDays(weighted, tm))
+	if weightedIdle.Quantile(0.5) >= plainIdle.Quantile(0.5) {
+		t.Errorf("weighted RA median idle %v not below plain RA %v",
+			weightedIdle.Quantile(0.5), plainIdle.Quantile(0.5))
+	}
+}

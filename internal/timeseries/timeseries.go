@@ -1,0 +1,128 @@
+// Package timeseries implements the time-series link prediction baseline
+// the paper compares its temporal filters against (§6.3, da Silva Soares &
+// Prudêncio [10]): a pair's similarity metric is computed at equally spaced
+// past time points, and the per-pair series is aggregated into a final
+// score by Moving Average (MA) or Linear Regression (LR) extrapolation.
+package timeseries
+
+import (
+	"fmt"
+
+	"linkpred/internal/graph"
+	"linkpred/internal/predict"
+)
+
+// Method selects the aggregation of the per-pair score series.
+type Method int
+
+const (
+	// MA scores a pair by the mean of its past metric scores; the paper
+	// finds MA the stronger of the two aggregations.
+	MA Method = iota
+	// LR fits a least-squares line to the series and extrapolates one step
+	// beyond the newest snapshot.
+	LR
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MA:
+		return "MA"
+	case LR:
+		return "LR"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Scores computes aggregated time-series scores for the candidate pairs.
+// The series uses `window` snapshots at the cuts ending at cuts[cutIdx]
+// (the prediction snapshot G_{t-1}); when cutIdx has fewer predecessors the
+// series shortens accordingly. Pairs whose endpoints do not exist yet in a
+// past snapshot contribute a zero score at that time point, matching the
+// method's "no similarity before arrival" convention.
+func Scores(tr *graph.Trace, cuts []graph.SnapshotCut, cutIdx, window int, alg predict.Algorithm, pairs []predict.Pair, method Method, opt predict.Options) ([]float64, error) {
+	if cutIdx < 0 || cutIdx >= len(cuts) {
+		return nil, fmt.Errorf("timeseries: cut index %d out of range [0,%d)", cutIdx, len(cuts))
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("timeseries: window %d < 1", window)
+	}
+	if window > cutIdx+1 {
+		window = cutIdx + 1
+	}
+	series := make([][]float64, window) // series[j] = scores at j-th oldest point
+	for j := 0; j < window; j++ {
+		cut := cuts[cutIdx-(window-1)+j]
+		g := tr.SnapshotAtEdge(cut.EdgeCount)
+		n := graph.NodeID(g.NumNodes())
+		// Score only pairs whose endpoints exist at this time point.
+		var valid []predict.Pair
+		var validIdx []int
+		for i, p := range pairs {
+			if p.U < n && p.V < n {
+				valid = append(valid, p)
+				validIdx = append(validIdx, i)
+			}
+		}
+		col := make([]float64, len(pairs))
+		if len(valid) > 0 {
+			scores := alg.ScorePairs(g, valid, opt)
+			for k, i := range validIdx {
+				col[i] = scores[k]
+			}
+		}
+		series[j] = col
+	}
+	out := make([]float64, len(pairs))
+	buf := make([]float64, window)
+	for i := range pairs {
+		for j := 0; j < window; j++ {
+			buf[j] = series[j][i]
+		}
+		switch method {
+		case MA:
+			out[i] = mean(buf)
+		case LR:
+			out[i] = extrapolate(buf)
+		default:
+			return nil, fmt.Errorf("timeseries: unknown method %v", method)
+		}
+	}
+	return out, nil
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// extrapolate fits y = a + b·j over j = 0..w-1 and returns the prediction
+// at j = w (one step past the newest point). A single point extrapolates to
+// itself.
+func extrapolate(xs []float64) float64 {
+	w := len(xs)
+	if w == 1 {
+		return xs[0]
+	}
+	n := float64(w)
+	var sj, sy, sjj, sjy float64
+	for j, y := range xs {
+		fj := float64(j)
+		sj += fj
+		sy += y
+		sjj += fj * fj
+		sjy += fj * y
+	}
+	den := n*sjj - sj*sj
+	if den == 0 {
+		return mean(xs)
+	}
+	b := (n*sjy - sj*sy) / den
+	a := (sy - b*sj) / n
+	return a + b*n
+}

@@ -1,0 +1,121 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+
+	"linkpred/internal/gen"
+	"linkpred/internal/graph"
+	"linkpred/internal/predict"
+)
+
+func TestExtrapolate(t *testing.T) {
+	// Perfect line 1,2,3 → next is 4.
+	if got := extrapolate([]float64{1, 2, 3}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("extrapolate = %v, want 4", got)
+	}
+	// Constant series stays constant.
+	if got := extrapolate([]float64{5, 5, 5}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("extrapolate constant = %v, want 5", got)
+	}
+	// Single point.
+	if got := extrapolate([]float64{7}); got != 7 {
+		t.Errorf("extrapolate single = %v, want 7", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := mean([]float64{1, 2, 3, 6}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("mean = %v, want 3", got)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MA.String() != "MA" || LR.String() != "LR" {
+		t.Errorf("method names: %v %v", MA, LR)
+	}
+	if Method(9).String() == "" {
+		t.Error("unknown method should still render")
+	}
+}
+
+func TestScoresOnTrace(t *testing.T) {
+	cfg := gen.Facebook(41).Scaled(0.1)
+	tr := gen.MustGenerate(cfg)
+	cuts := tr.Cuts(gen.DefaultDelta(cfg))
+	idx := len(cuts) - 2
+	g := tr.SnapshotAtEdge(cuts[idx].EdgeCount)
+	opt := predict.DefaultOptions()
+
+	// A handful of unconnected 2-hop pairs from the newest snapshot.
+	var pairs []predict.Pair
+	for u := graph.NodeID(0); int(u) < g.NumNodes() && len(pairs) < 30; u++ {
+		for _, w := range g.Neighbors(u) {
+			done := false
+			for _, v := range g.Neighbors(w) {
+				if v > u && !g.HasEdge(u, v) {
+					pairs = append(pairs, predict.Pair{U: u, V: v})
+					done = true
+					break
+				}
+			}
+			if done {
+				break
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		t.Fatal("no candidate pairs")
+	}
+
+	maScores, err := Scores(tr, cuts, idx, 4, predict.CN, pairs, MA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrScores, err := Scores(tr, cuts, idx, 4, predict.CN, pairs, LR, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maScores) != len(pairs) || len(lrScores) != len(pairs) {
+		t.Fatal("score length mismatch")
+	}
+	// The MA of CN counts over growing snapshots is at most the current CN
+	// count (monotone densification) and nonnegative.
+	now := predict.CN.ScorePairs(g, pairs, opt)
+	for i := range pairs {
+		if maScores[i] < 0 || maScores[i] > now[i]+1e-9 {
+			t.Errorf("pair %d: MA = %v, current CN = %v", i, maScores[i], now[i])
+		}
+	}
+	// Window of 1 equals the plain metric.
+	one, err := Scores(tr, cuts, idx, 1, predict.CN, pairs, MA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if math.Abs(one[i]-now[i]) > 1e-9 {
+			t.Errorf("window-1 MA %v != plain %v", one[i], now[i])
+		}
+	}
+}
+
+func TestScoresErrors(t *testing.T) {
+	cfg := gen.Facebook(41).Scaled(0.1)
+	tr := gen.MustGenerate(cfg)
+	cuts := tr.Cuts(gen.DefaultDelta(cfg))
+	opt := predict.DefaultOptions()
+	pairs := []predict.Pair{{U: 0, V: 2}}
+	if _, err := Scores(tr, cuts, -1, 3, predict.CN, pairs, MA, opt); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := Scores(tr, cuts, 2, 0, predict.CN, pairs, MA, opt); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := Scores(tr, cuts, 2, 3, predict.CN, pairs, Method(42), opt); err == nil {
+		t.Error("unknown method accepted")
+	}
+	// Window longer than history shortens gracefully.
+	if _, err := Scores(tr, cuts, 1, 10, predict.CN, pairs, MA, opt); err != nil {
+		t.Errorf("long window: %v", err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package linkpred is an empirical link prediction toolkit for dynamic
+// networks, reproducing "Network Growth and Link Prediction Through an
+// Empirical Lens" (IMC 2016). It bundles:
+//
+//   - a timestamped dynamic-graph substrate with constant-delta snapshot
+//     sequencing (internal/graph);
+//   - synthetic generators for Facebook-, Renren- and YouTube-like growth
+//     traces (internal/gen);
+//   - the paper's 14 metric-based link prediction algorithms and the
+//     random baseline (internal/predict);
+//   - from-scratch classifiers (SVM, logistic regression, naive Bayes,
+//     decision tree, random forest) and the snowball-sampled
+//     classification pipeline (internal/ml, internal/classify);
+//   - temporal analysis and the §6 temporal filters (internal/temporal);
+//   - the §6.3 time-series comparator (internal/timeseries);
+//   - runners regenerating every table and figure of the paper's
+//     evaluation (internal/experiments), benchmarked in bench_test.go.
+//
+// This file is the stable public facade; examples/ and cmd/ build only on
+// the names exported here plus the experiment runners.
+package linkpred
+
+import (
+	"fmt"
+
+	"linkpred/internal/classify"
+	"linkpred/internal/gen"
+	"linkpred/internal/graph"
+	"linkpred/internal/ml"
+	"linkpred/internal/predict"
+	"linkpred/internal/temporal"
+)
+
+// Core graph types.
+type (
+	// Graph is an immutable network snapshot.
+	Graph = graph.Graph
+	// Trace is a timestamped dynamic-network history.
+	Trace = graph.Trace
+	// Edge is a single timestamped link-creation event.
+	Edge = graph.Edge
+	// NodeID identifies a node.
+	NodeID = graph.NodeID
+	// SnapshotCut marks a snapshot boundary in a trace.
+	SnapshotCut = graph.SnapshotCut
+)
+
+// Prediction types.
+type (
+	// Pair is a scored candidate node pair.
+	Pair = predict.Pair
+	// Options carries algorithm parameters (see DefaultOptions).
+	Options = predict.Options
+	// Algorithm is one metric-based link prediction method.
+	Algorithm = predict.Algorithm
+)
+
+// Temporal filtering types.
+type (
+	// Tracker indexes a trace for temporal queries.
+	Tracker = temporal.Tracker
+	// FilterConfig holds the Table 7 temporal-filter thresholds.
+	FilterConfig = temporal.FilterConfig
+)
+
+// GeneratorConfig parameterizes the synthetic dynamic-network model.
+type GeneratorConfig = gen.Config
+
+// Day is one day in trace-time seconds.
+const Day = graph.Day
+
+// DefaultOptions returns the paper's tuned algorithm parameters.
+func DefaultOptions() Options { return predict.DefaultOptions() }
+
+// BuildGraph constructs a snapshot from explicit edges over n nodes.
+func BuildGraph(n int, edges []Edge) *Graph { return graph.Build(n, edges) }
+
+// FacebookConfig, RenrenConfig and YouTubeConfig return the three synthetic
+// trace presets standing in for the paper's datasets (DESIGN.md §1). Scale
+// 1.0 reproduces the reference sizes; smaller scales shrink proportionally.
+func FacebookConfig(seed int64, scale float64) GeneratorConfig {
+	return gen.Facebook(seed).Scaled(scale)
+}
+
+// RenrenConfig returns the Renren analogue preset.
+func RenrenConfig(seed int64, scale float64) GeneratorConfig {
+	return gen.Renren(seed).Scaled(scale)
+}
+
+// YouTubeConfig returns the YouTube analogue preset.
+func YouTubeConfig(seed int64, scale float64) GeneratorConfig {
+	return gen.YouTube(seed).Scaled(scale)
+}
+
+// Generate synthesizes a dynamic network trace.
+func Generate(cfg GeneratorConfig) (*Trace, error) { return gen.Generate(cfg) }
+
+// SnapshotDelta returns the snapshot delta the experiment harness uses for
+// a preset (Table 2 methodology).
+func SnapshotDelta(cfg GeneratorConfig) int { return gen.DefaultDelta(cfg) }
+
+// Algorithms lists the names of every implemented metric-based algorithm.
+func Algorithms() []string {
+	var names []string
+	for _, a := range predict.All() {
+		names = append(names, a.Name())
+	}
+	return names
+}
+
+// AlgorithmByName resolves an algorithm from its paper abbreviation (CN,
+// JC, AA, RA, BCN, BAA, BRA, PA, SP, LP, Katz, KatzSC, PPR, LRW, Rescal).
+func AlgorithmByName(name string) (Algorithm, error) { return predict.ByName(name) }
+
+// Predict returns the k most likely new edges on g according to the named
+// algorithm.
+func Predict(g *Graph, algorithm string, k int, opt Options) ([]Pair, error) {
+	alg, err := predict.ByName(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	return alg.Predict(g, k, opt), nil
+}
+
+// RandomPrediction draws k unconnected pairs uniformly, the paper's
+// baseline.
+func RandomPrediction(g *Graph, k int, seed int64) []Pair {
+	return predict.RandomPrediction(g, k, seed)
+}
+
+// AccuracyRatio is the paper's headline metric: correct predictions over
+// the random baseline's expected overlap k²/U.
+func AccuracyRatio(correct, k int, g *Graph) float64 {
+	return predict.AccuracyRatio(correct, k, g)
+}
+
+// TruthSet returns the canonical-pair-key set of new edges among nodes
+// existing and unconnected in prev.
+func TruthSet(prev *Graph, newEdges []Edge) map[uint64]bool {
+	return predict.TruthSet(prev, newEdges)
+}
+
+// CountCorrect counts predictions present in a TruthSet.
+func CountCorrect(pred []Pair, truth map[uint64]bool) int {
+	return predict.CountCorrect(pred, truth)
+}
+
+// NewTracker indexes a trace for temporal queries and filtering.
+func NewTracker(tr *Trace) *Tracker { return temporal.NewTracker(tr) }
+
+// FilterConfigFor returns the Table 7 thresholds for a preset name
+// (facebook, youtube, renren) or generic defaults otherwise.
+func FilterConfigFor(network string) FilterConfig { return temporal.ConfigFor(network) }
+
+// FilteredPredict augments an algorithm with the §6 temporal filter: rank,
+// drop pairs failing the filter as of time t, return the top k survivors.
+func FilteredPredict(algorithm string, g *Graph, tk *Tracker, t int64, k int, fc FilterConfig, opt Options) ([]Pair, error) {
+	alg, err := predict.ByName(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	return temporal.FilteredPredict(alg, g, tk, t, k, fc, opt), nil
+}
+
+// ClassifierPipeline is a trained classification-based link predictor over
+// a snowball-sampled universe (§5).
+type ClassifierPipeline struct {
+	prepared *classify.Prepared
+	model    ml.Classifier
+}
+
+// ClassificationResult reports a pipeline evaluation.
+type ClassificationResult struct {
+	// Correct predictions among the top-k, the budget K, the accuracy
+	// ratio against random within the sampled universe, and absolute
+	// precision.
+	Correct  int
+	K        int
+	Ratio    float64
+	Accuracy float64
+}
+
+// TrainSVM prepares a classification instance from three consecutive
+// snapshot cuts of a trace (train, test, eval), snowball-samples
+// sampleNodes nodes from seed, trains a linear SVM with undersampling
+// ratio 1:negPerPos, and returns the evaluated pipeline.
+func TrainSVM(tr *Trace, cutTrain, cutTest, cutEval SnapshotCut, sampleNodes int, seed NodeID, negPerPos float64, opt Options) (*ClassifierPipeline, ClassificationResult, error) {
+	p, err := classify.Prepare(tr, cutTrain, cutTest, cutEval, sampleNodes, seed, opt)
+	if err != nil {
+		return nil, ClassificationResult{}, err
+	}
+	svm := ml.NewSVM(opt.Seed)
+	res, err := p.EvaluateClassifier(svm, negPerPos, opt.Seed)
+	if err != nil {
+		return nil, ClassificationResult{}, err
+	}
+	return &ClassifierPipeline{prepared: p, model: svm}, ClassificationResult(res), nil
+}
+
+// EvaluateMetricOnSample scores a metric-based algorithm on the pipeline's
+// sampled universe, the Figure 11 comparison.
+func (cp *ClassifierPipeline) EvaluateMetricOnSample(algorithm string, opt Options) (ClassificationResult, error) {
+	alg, err := predict.ByName(algorithm)
+	if err != nil {
+		return ClassificationResult{}, err
+	}
+	return ClassificationResult(cp.prepared.EvaluateMetric(alg, opt)), nil
+}
+
+// FeatureNames returns the pipeline's feature (metric) names.
+func (cp *ClassifierPipeline) FeatureNames() []string { return cp.prepared.FeatureNames }
+
+// String renders a readable summary of a result.
+func (r ClassificationResult) String() string {
+	return fmt.Sprintf("correct=%d/%d accuracy=%.2f%% ratio=%.1fx over random", r.Correct, r.K, 100*r.Accuracy, r.Ratio)
+}

@@ -1,0 +1,106 @@
+package linkpred
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallTrace is a shared fixture: a Renren-like trace small enough for
+// fast facade-level tests.
+func smallTrace(t *testing.T) (*Trace, GeneratorConfig) {
+	t.Helper()
+	cfg := RenrenConfig(5, 0.12)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, cfg
+}
+
+func TestFacadePredict(t *testing.T) {
+	tr, cfg := smallTrace(t)
+	cuts := tr.Cuts(SnapshotDelta(cfg))
+	i := len(cuts) - 2
+	g := tr.SnapshotAtEdge(cuts[i].EdgeCount)
+	truth := TruthSet(g, tr.NewEdgesBetween(cuts[i], cuts[i+1]))
+	k := len(truth)
+	pred, err := Predict(g, "BRA", k, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) == 0 || len(pred) > k {
+		t.Fatalf("got %d predictions for k=%d", len(pred), k)
+	}
+	correct := CountCorrect(pred, truth)
+	if ratio := AccuracyRatio(correct, k, g); ratio <= 1 {
+		t.Errorf("BRA accuracy ratio = %v, want > 1", ratio)
+	}
+	if _, err := Predict(g, "NOPE", k, DefaultOptions()); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestFacadeAlgorithms(t *testing.T) {
+	names := Algorithms()
+	if len(names) != 15 {
+		t.Fatalf("algorithms = %v", names)
+	}
+	for _, n := range names {
+		if _, err := AlgorithmByName(n); err != nil {
+			t.Errorf("AlgorithmByName(%q): %v", n, err)
+		}
+	}
+}
+
+func TestFacadeFilteredPredict(t *testing.T) {
+	tr, cfg := smallTrace(t)
+	cuts := tr.Cuts(SnapshotDelta(cfg))
+	i := len(cuts) - 2
+	g := tr.SnapshotAtEdge(cuts[i].EdgeCount)
+	tk := NewTracker(tr)
+	fc := FilterConfigFor("renren")
+	pred, err := FilteredPredict("BRA", g, tk, cuts[i].Time, 20, fc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) > 20 {
+		t.Fatalf("got %d predictions", len(pred))
+	}
+}
+
+func TestFacadeClassification(t *testing.T) {
+	tr, cfg := smallTrace(t)
+	cuts := tr.Cuts(SnapshotDelta(cfg))
+	i := len(cuts) - 3
+	pipe, res, err := TrainSVM(tr, cuts[i], cuts[i+1], cuts[i+2], 120, 3, 1000, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if !strings.Contains(res.String(), "over random") {
+		t.Errorf("String() = %q", res.String())
+	}
+	mres, err := pipe.EvaluateMetricOnSample("BRA", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.K != res.K {
+		t.Errorf("metric K %d != classifier K %d", mres.K, res.K)
+	}
+	if len(pipe.FeatureNames()) != 14 {
+		t.Errorf("features = %v", pipe.FeatureNames())
+	}
+}
+
+func TestFacadeBuildGraph(t *testing.T) {
+	g := BuildGraph(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("graph = %v", g)
+	}
+	r := RandomPrediction(g, 1, 1)
+	if len(r) != 1 {
+		t.Fatalf("random = %v", r)
+	}
+}
