@@ -1,0 +1,149 @@
+// Command bench times full top-k prediction for every evaluated algorithm
+// at 1 worker and at N workers on one synthetic snapshot, and writes the
+// timings to a JSON file. It is the machine-readable companion of
+// BenchmarkPredictParallel: CI and the docs consume the emitted file to
+// track the parallel engine's speedup across hardware.
+//
+// Usage:
+//
+//	bench                         # renren @ 0.2, GOMAXPROCS workers
+//	bench -preset youtube -scale 0.1 -workers 8 -out BENCH_predict.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"linkpred/internal/gen"
+	"linkpred/internal/predict"
+)
+
+// result is one (algorithm, workers) timing row of BENCH_predict.json.
+type result struct {
+	Algorithm string  `json:"algorithm"`
+	Workers   int     `json:"workers"`
+	NsPerOp   int64   `json:"ns_per_op"`
+	Speedup   float64 `json:"speedup_vs_serial"`
+}
+
+// output is the file-level schema.
+type output struct {
+	Preset     string   `json:"preset"`
+	Scale      float64  `json:"scale"`
+	Nodes      int      `json:"nodes"`
+	Edges      int      `json:"edges"`
+	K          int      `json:"k"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []result `json:"results"`
+}
+
+func preset(name string, seed int64) (gen.Config, error) {
+	switch name {
+	case "facebook":
+		return gen.Facebook(seed), nil
+	case "renren":
+		return gen.Renren(seed), nil
+	case "youtube":
+		return gen.YouTube(seed), nil
+	}
+	return gen.Config{}, fmt.Errorf("unknown preset %q (facebook, renren, youtube)", name)
+}
+
+// measure times fn until mintime has elapsed (at least once, at most maxIters),
+// returning mean ns/op.
+func measure(mintime time.Duration, maxIters int, fn func()) int64 {
+	var total time.Duration
+	iters := 0
+	for total < mintime && iters < maxIters {
+		start := time.Now()
+		fn()
+		total += time.Since(start)
+		iters++
+	}
+	return total.Nanoseconds() / int64(iters)
+}
+
+func main() {
+	presetName := flag.String("preset", "renren", "trace preset: facebook, renren, youtube")
+	scale := flag.Float64("scale", 0.2, "trace scale factor")
+	seed := flag.Int64("seed", 1, "generation seed")
+	k := flag.Int("k", 200, "top-k prediction budget")
+	workers := flag.Int("workers", 0, "parallel worker count to compare against serial (0 = GOMAXPROCS)")
+	out := flag.String("out", "BENCH_predict.json", "output path")
+	mintime := flag.Duration("mintime", 2*time.Second, "minimum sampling time per (algorithm, workers) cell")
+	maxIters := flag.Int("maxiters", 50, "iteration cap per cell")
+	flag.Parse()
+
+	cfg, err := preset(*presetName, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg = cfg.Scaled(*scale)
+	tr := gen.MustGenerate(cfg)
+	cuts := tr.Cuts(gen.DefaultDelta(cfg))
+	g := tr.SnapshotAtEdge(cuts[len(cuts)-2].EdgeCount)
+
+	par := *workers
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	counts := []int{1}
+	if par != 1 {
+		counts = append(counts, par)
+	}
+
+	o := output{
+		Preset:     *presetName,
+		Scale:      *scale,
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+		K:          *k,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, alg := range predict.All() {
+		var serialNs int64
+		for _, w := range counts {
+			opt := predict.DefaultOptions()
+			opt.Workers = w
+			// Warm once outside the timed loop (lazy generator state, cache
+			// warmup) and sanity-check the algorithm produces output.
+			if len(alg.Predict(g, *k, opt)) == 0 {
+				fmt.Fprintf(os.Stderr, "%s produced no predictions\n", alg.Name())
+				os.Exit(1)
+			}
+			ns := measure(*mintime, *maxIters, func() { alg.Predict(g, *k, opt) })
+			speedup := 0.0
+			if w == 1 {
+				serialNs = ns
+				speedup = 1.0
+			} else if ns > 0 {
+				speedup = float64(serialNs) / float64(ns)
+			}
+			o.Results = append(o.Results, result{
+				Algorithm: alg.Name(),
+				Workers:   w,
+				NsPerOp:   ns,
+				Speedup:   speedup,
+			})
+			fmt.Printf("%-8s workers=%-2d %12s/op  speedup=%.2fx\n",
+				alg.Name(), w, time.Duration(ns), speedup)
+		}
+	}
+
+	data, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

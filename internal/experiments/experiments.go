@@ -36,8 +36,11 @@ type Config struct {
 	// (0 = no cap).
 	MaxTransitions int
 	// Workers bounds the goroutines used by the metric sweep (0 = one per
-	// CPU). Results are identical regardless of worker count; the paper
-	// ran the equivalent computation on a 10-server fleet.
+	// CPU). The sweep parallelizes at task level — one (transition,
+	// algorithm) prediction per task — and pins each task's internal
+	// predict engine to a single worker so the two levels don't multiply.
+	// Results are identical regardless of worker count; the paper ran the
+	// equivalent computation on a 10-server fleet.
 	Workers int
 	// Opt carries the algorithm parameters.
 	Opt predict.Options
@@ -236,35 +239,39 @@ func (n *Network) runSweep(c Config, algs []predict.Algorithm) []SweepCell {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// With far more tasks than cores, the parallel split lives at task
+	// level: a semaphore bounds in-flight tasks to the worker budget, and
+	// each task's Predict runs with the engine pinned to one worker so the
+	// sweep doesn't oversubscribe the machine by multiplying both levels.
+	// Predict output is worker-count independent, so this changes nothing
+	// about the results.
+	taskOpt := c.Opt
+	taskOpt.Workers = 1
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	tasks := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range tasks {
-				t := trans[idx/len(algs)]
-				alg := algs[idx%len(algs)]
-				k := len(t.truth)
-				pred := alg.Predict(t.prev, k, c.Opt)
-				correct := predict.CountCorrect(pred, t.truth)
-				cells[idx] = SweepCell{
-					Alg:       alg.Name(),
-					CutIdx:    t.cutIdx,
-					EdgeCount: n.Cuts[t.cutIdx].EdgeCount,
-					K:         k,
-					Correct:   correct,
-					Ratio:     predict.AccuracyRatio(correct, k, t.prev),
-					Accuracy:  float64(correct) / float64(k),
-					Lambda2:   t.lambda2,
-				}
-			}
-		}()
-	}
 	for idx := range cells {
-		tasks <- idx
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t := trans[idx/len(algs)]
+			alg := algs[idx%len(algs)]
+			k := len(t.truth)
+			pred := alg.Predict(t.prev, k, taskOpt)
+			correct := predict.CountCorrect(pred, t.truth)
+			cells[idx] = SweepCell{
+				Alg:       alg.Name(),
+				CutIdx:    t.cutIdx,
+				EdgeCount: n.Cuts[t.cutIdx].EdgeCount,
+				K:         k,
+				Correct:   correct,
+				Ratio:     predict.AccuracyRatio(correct, k, t.prev),
+				Accuracy:  float64(correct) / float64(k),
+				Lambda2:   t.lambda2,
+			}
+		}(idx)
 	}
-	close(tasks)
 	wg.Wait()
 	return cells
 }

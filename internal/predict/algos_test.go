@@ -135,13 +135,13 @@ func TestLRWMatchesDenseQuick(t *testing.T) {
 func TestLRWReversibility(t *testing.T) {
 	g := randomGraph(8, 20, 60)
 	n := g.NumNodes()
-	cur, next := newSparseVec(n), newSparseVec(n)
+	scratch := newWalkScratch(n)
 	for u := graph.NodeID(0); u < 6; u++ {
 		du := float64(g.Degree(u))
 		if du == 0 {
 			continue
 		}
-		distU := lrwDistribution(g, u, 3, cur, next)
+		distU := lrwDistribution(g, u, 3, scratch)
 		vals := map[graph.NodeID]float64{}
 		for _, v := range distU.touched {
 			vals[v] = distU.val[v]
@@ -151,7 +151,7 @@ func TestLRWReversibility(t *testing.T) {
 			if dv == 0 {
 				continue
 			}
-			distV := lrwDistribution(g, v, 3, cur, next)
+			distV := lrwDistribution(g, v, 3, scratch)
 			pvu := distV.val[u]
 			if math.Abs(du*puv-dv*pvu) > 1e-9 {
 				t.Fatalf("reversibility violated: deg(%d)*π=%v vs deg(%d)*π=%v", u, du*puv, v, dv*pvu)
@@ -197,17 +197,16 @@ func TestPPRMatchesPowerIteration(t *testing.T) {
 	opt := DefaultOptions()
 	opt.PPREps = 1e-9 // tight push for comparison
 	n := g.NumNodes()
-	p, r := newSparseVec(n), newSparseVec(n)
-	queue := make([]graph.NodeID, 0, 64)
+	scratch := newPPRScratch(n)
 	for _, u := range []graph.NodeID{0, 5, 10} {
 		if g.Degree(u) == 0 {
 			continue
 		}
-		pprPush(g, u, opt.PPRAlpha, opt.PPREps, p, r, &queue)
+		pprPush(g, u, opt.PPRAlpha, opt.PPREps, scratch)
 		exact := pprExact(g, u, opt.PPRAlpha)
 		for v := 0; v < n; v++ {
-			if math.Abs(p.val[v]-exact[v]) > 1e-4 {
-				t.Fatalf("push from %d at %d: %v vs exact %v", u, v, p.val[v], exact[v])
+			if math.Abs(scratch.p.val[v]-exact[v]) > 1e-4 {
+				t.Fatalf("push from %d at %d: %v vs exact %v", u, v, scratch.p.val[v], exact[v])
 			}
 		}
 	}

@@ -1,6 +1,8 @@
 package predict
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"linkpred/internal/gen"
@@ -39,6 +41,37 @@ func BenchmarkPredictScorePairs(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// benchWorkerCounts are the engine configurations compared by the parallel
+// benchmarks: serial, a fixed multi-worker count, and the host's capacity.
+func benchWorkerCounts() []int {
+	counts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// BenchmarkPredictParallel measures full top-k prediction per algorithm at
+// each worker count. Speedups only materialize with GOMAXPROCS > 1; the
+// determinism suite proves the output is identical either way.
+func BenchmarkPredictParallel(b *testing.B) {
+	g, _ := benchGraph(b)
+	k := 200
+	for _, alg := range All() {
+		for _, w := range benchWorkerCounts() {
+			opt := DefaultOptions()
+			opt.Workers = w
+			b.Run(fmt.Sprintf("%s/workers=%d", alg.Name(), w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if len(alg.Predict(g, k, opt)) == 0 {
+						b.Fatal("no predictions")
+					}
+				}
+			})
+		}
 	}
 }
 

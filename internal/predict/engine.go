@@ -1,0 +1,188 @@
+package predict
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"linkpred/internal/graph"
+)
+
+// This file is the shared parallel scoring engine. Every algorithm routes
+// its Predict sweep and its ScorePairs batch through the helpers here, which
+// shard work across Options.Workers goroutines while guaranteeing output
+// bit-identical to a serial run:
+//
+//   - Predict sweeps give each worker a private stamp array and a private
+//     bounded top-k; the per-worker selections are merged through the same
+//     splitmix64 tie-hash the serial selector uses, so the merged set is
+//     exactly the set a single worker would have kept, independent of worker
+//     count, chunk assignment, and merge order.
+//   - ScorePairs batches are index-sliced: each worker writes disjoint
+//     output positions, computed from read-only per-snapshot state, so
+//     output order and values are trivially preserved.
+
+// workerCount resolves Options.Workers: values <= 0 mean one worker per
+// available CPU.
+func workerCount(opt Options) int {
+	if opt.Workers > 0 {
+		return opt.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// shardMin is the range size below which goroutine fan-out costs more than
+// the sweep itself; smaller ranges run on the calling goroutine.
+const shardMin = 128
+
+// chunksPerWorker oversplits the range so dynamically claimed chunks
+// rebalance the skewed per-node costs of power-law degree distributions.
+const chunksPerWorker = 8
+
+// shardRange splits [0, n) into contiguous chunks and fans them out over
+// workers goroutines. Chunks are claimed dynamically; body receives the
+// claiming worker's index so callers can keep per-worker scratch state
+// (invocations for the same worker never overlap, so that state needs no
+// locking).
+func shardRange(n, workers int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < shardMin {
+		body(0, 0, n)
+		return
+	}
+	chunks := workers * chunksPerWorker
+	size := (n + chunks - 1) / chunks
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				lo := c * size
+				if lo >= n {
+					return
+				}
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				body(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// mergeTopK folds per-worker selections into one selector. Entries carry
+// their original tie-hash, so the merged selection equals the serial one
+// regardless of how candidates were distributed across parts.
+func mergeTopK(k int, seed int64, parts []*topK) *topK {
+	var only *topK
+	live := 0
+	for _, p := range parts {
+		if p != nil {
+			only = p
+			live++
+		}
+	}
+	if live == 1 {
+		return only
+	}
+	merged := newTopK(k, seed)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for i := range p.pairs {
+			merged.add(p.pairs[i], p.ties[i])
+		}
+	}
+	return merged
+}
+
+// newStamp returns a stamp array initialized to "never visited".
+func newStamp(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+// twoHopRange enumerates every unconnected pair (u, v) with u < v at
+// distance exactly two and u in [lo, hi), calling emit once per pair. The
+// caller-owned stamp array keeps the sweep allocation-free across nodes; it
+// must have been produced by newStamp and may be reused across ranges as
+// long as no two concurrent sweeps share it.
+func twoHopRange(g *graph.Graph, lo, hi int, stamp []int32, emit func(u, v graph.NodeID)) {
+	for u := lo; u < hi; u++ {
+		uid := graph.NodeID(u)
+		// Mark direct neighbors so they are excluded.
+		for _, w := range g.Neighbors(uid) {
+			stamp[w] = int32(u)
+		}
+		stamp[u] = int32(u)
+		for _, w := range g.Neighbors(uid) {
+			for _, v := range g.Neighbors(w) {
+				if v <= uid || stamp[v] == int32(u) {
+					continue
+				}
+				stamp[v] = int32(u)
+				emit(uid, v)
+			}
+		}
+	}
+}
+
+// twoHopPairs is the serial full-graph sweep, kept for candidate-set
+// enumeration call sites that need a single deterministic emission order.
+func twoHopPairs(g *graph.Graph, emit func(u, v graph.NodeID)) {
+	n := g.NumNodes()
+	twoHopRange(g, 0, n, newStamp(n), emit)
+}
+
+// twoHopParts runs the sharded 2-hop candidate sweep: each worker owns a
+// stamp array and a bounded top-k, and visit scores one candidate pair into
+// the worker's selection. The returned parts merge via mergeTopK.
+func twoHopParts(g *graph.Graph, k int, opt Options, visit func(u, v graph.NodeID, top *topK)) []*topK {
+	n := g.NumNodes()
+	workers := workerCount(opt)
+	parts := make([]*topK, workers)
+	stamps := make([][]int32, workers)
+	shardRange(n, workers, func(w, lo, hi int) {
+		if parts[w] == nil {
+			parts[w] = newTopK(k, opt.Seed)
+			stamps[w] = newStamp(n)
+		}
+		top := parts[w]
+		twoHopRange(g, lo, hi, stamps[w], func(u, v graph.NodeID) { visit(u, v, top) })
+	})
+	return parts
+}
+
+// predictTwoHop is the full sharded 2-hop Predict path: sweep, merge, sort.
+func predictTwoHop(g *graph.Graph, k int, opt Options, visit func(u, v graph.NodeID, top *topK)) []Pair {
+	return mergeTopK(k, opt.Seed, twoHopParts(g, k, opt, visit)).Result()
+}
+
+// sourceSortedIndex returns pair indices sorted by the node that key
+// extracts, grouping same-source queries so per-source scratch (BFS
+// frontiers, walk distributions, push residuals) is built once per distinct
+// source within a chunk. A chunk boundary splitting a group only costs one
+// extra rebuild; the per-query results are unchanged.
+func sourceSortedIndex(pairs []Pair, key func(Pair) graph.NodeID) []int {
+	idx := make([]int, len(pairs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return key(pairs[idx[a]]) < key(pairs[idx[b]]) })
+	return idx
+}

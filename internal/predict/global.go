@@ -7,11 +7,11 @@ import (
 	"linkpred/internal/graph"
 )
 
-// globalCandidates enumerates the candidate pairs the latent-space
-// algorithms (Katz, Rescal) rank: every unconnected 2-hop pair, the pairings
-// of the TopDegreeBlock highest-degree nodes with all other nodes, and a
-// seeded sample of RandomCandidates distant pairs. Each unconnected pair is
-// emitted at most once.
+// The latent-space algorithms (Katz, Rescal) rank a bounded global candidate
+// set: every unconnected 2-hop pair, the pairings of the TopDegreeBlock
+// highest-degree nodes with all other nodes, and a seeded sample of
+// RandomCandidates distant pairs. Each unconnected pair is emitted at most
+// once across the three phases.
 //
 // The paper scores all O(|V|²) pairs on a server fleet; this bounded set
 // preserves the regions where those algorithms actually place their top-k
@@ -20,21 +20,16 @@ import (
 // keeping single-machine runtimes practical. DESIGN.md documents the
 // substitution, and the ablation benchmark compares against exhaustive
 // enumeration on a small graph.
-func globalCandidates(g *graph.Graph, opt Options, emit func(u, v graph.NodeID)) {
-	n := g.NumNodes()
-	if n < 2 {
-		return
-	}
-	// Phase 1: all unconnected 2-hop pairs.
-	twoHopPairs(g, emit)
 
-	// Phase 2: top-degree block x everyone. Pairs at 2 hops were already
-	// emitted in phase 1, so skip pairs with common neighbors.
-	blockSize := opt.TopDegreeBlock
+// degreeBlock computes the degree-descending node order and the block
+// membership mask shared by phases 2 and 3.
+func degreeBlock(g *graph.Graph, opt Options) (order []graph.NodeID, inBlock []bool, blockSize int) {
+	n := g.NumNodes()
+	blockSize = opt.TopDegreeBlock
 	if blockSize > n {
 		blockSize = n
 	}
-	order := make([]graph.NodeID, n)
+	order = make([]graph.NodeID, n)
 	for i := range order {
 		order[i] = graph.NodeID(i)
 	}
@@ -45,31 +40,34 @@ func globalCandidates(g *graph.Graph, opt Options, emit func(u, v graph.NodeID))
 		}
 		return order[a] < order[b]
 	})
-	inBlock := make([]bool, n)
+	inBlock = make([]bool, n)
 	for _, u := range order[:blockSize] {
 		inBlock[u] = true
 	}
-	for bi, u := range order[:blockSize] {
-		for v := 0; v < n; v++ {
-			vid := graph.NodeID(v)
-			if vid == u || g.HasEdge(u, vid) {
-				continue
-			}
-			if inBlock[vid] {
-				// Emit block-block pairs once (by block order).
-				if idx := blockIndex(order[:blockSize], vid); idx < bi {
-					continue
-				}
-			}
-			if g.CountCommonNeighbors(u, vid) > 0 {
-				continue // already emitted as a 2-hop pair
-			}
-			emit(u, vid)
+	return order, inBlock, blockSize
+}
+
+// blockPairEligible reports whether phase 2 emits (u, vid) for block entry
+// (bi, u): skips self/connected pairs, dedups block-block pairs to one
+// orientation, and skips 2-hop pairs already covered by phase 1.
+func blockPairEligible(g *graph.Graph, order []graph.NodeID, inBlock []bool, blockSize, bi int, u, vid graph.NodeID) bool {
+	if vid == u || g.HasEdge(u, vid) {
+		return false
+	}
+	if inBlock[vid] {
+		// Emit block-block pairs once (by block order).
+		if idx := blockIndex(order[:blockSize], vid); idx < bi {
+			return false
 		}
 	}
+	return g.CountCommonNeighbors(u, vid) == 0
+}
 
-	// Phase 3: seeded random distant pairs, avoiding everything emitted
-	// above.
+// randomCandidates emits the phase-3 seeded random distant pairs, avoiding
+// everything phases 1 and 2 covered. The single RNG stream is part of the
+// deterministic contract, so this phase always runs serially.
+func randomCandidates(g *graph.Graph, opt Options, inBlock []bool, emit func(u, v graph.NodeID)) {
+	n := g.NumNodes()
 	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5eed))
 	seen := make(map[uint64]bool, opt.RandomCandidates)
 	for i := 0; i < opt.RandomCandidates; i++ {
@@ -88,6 +86,77 @@ func globalCandidates(g *graph.Graph, opt Options, emit func(u, v graph.NodeID))
 		}
 		emit(u, v)
 	}
+}
+
+// globalCandidates is the serial single-stream enumeration of the full
+// candidate set, kept as the reference the parallel path and the tests
+// compare against.
+func globalCandidates(g *graph.Graph, opt Options, emit func(u, v graph.NodeID)) {
+	n := g.NumNodes()
+	if n < 2 {
+		return
+	}
+	// Phase 1: all unconnected 2-hop pairs.
+	twoHopPairs(g, emit)
+
+	// Phase 2: top-degree block x everyone.
+	order, inBlock, blockSize := degreeBlock(g, opt)
+	for bi, u := range order[:blockSize] {
+		for v := 0; v < n; v++ {
+			vid := graph.NodeID(v)
+			if blockPairEligible(g, order, inBlock, blockSize, bi, u, vid) {
+				emit(u, vid)
+			}
+		}
+	}
+
+	// Phase 3: seeded random distant pairs.
+	randomCandidates(g, opt, inBlock, emit)
+}
+
+// predictGlobal ranks the bounded global candidate set under score, sharding
+// the 2-hop sweep (by source node) and the top-degree block pairings (by the
+// non-block side) across workers; score must be safe for concurrent calls
+// over read-only state. The per-worker selections merge deterministically,
+// so the result matches the serial enumeration bit for bit.
+func predictGlobal(g *graph.Graph, k int, opt Options, score func(u, v graph.NodeID) float64) []Pair {
+	n := g.NumNodes()
+	if n < 2 {
+		return nil
+	}
+	// Phase 1: sharded 2-hop sweep.
+	parts := twoHopParts(g, k, opt, func(u, v graph.NodeID, top *topK) {
+		top.Add(u, v, score(u, v))
+	})
+
+	// Phase 2: top-degree block x everyone, sharded over v.
+	order, inBlock, blockSize := degreeBlock(g, opt)
+	workers := workerCount(opt)
+	blockParts := make([]*topK, workers)
+	shardRange(n, workers, func(wk, lo, hi int) {
+		if blockParts[wk] == nil {
+			blockParts[wk] = newTopK(k, opt.Seed)
+		}
+		top := blockParts[wk]
+		for v := lo; v < hi; v++ {
+			vid := graph.NodeID(v)
+			for bi, u := range order[:blockSize] {
+				if blockPairEligible(g, order, inBlock, blockSize, bi, u, vid) {
+					top.Add(u, vid, score(u, vid))
+				}
+			}
+		}
+	})
+
+	// Phase 3: serial random distant pairs.
+	rest := newTopK(k, opt.Seed)
+	randomCandidates(g, opt, inBlock, func(u, v graph.NodeID) {
+		rest.Add(u, v, score(u, v))
+	})
+
+	parts = append(parts, blockParts...)
+	parts = append(parts, rest)
+	return mergeTopK(k, opt.Seed, parts).Result()
 }
 
 // blockIndex finds v in the block slice (linear scan; blocks are small).

@@ -54,20 +54,23 @@ func katzFactors(g *graph.Graph, opt Options) (scaled, raw *linalg.Dense) {
 
 func (katzLR) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
+	// The factors build once (serial eigensolve) and are read-only across
+	// the scoring workers.
 	scaled, raw := katzFactors(g, opt)
-	top := newTopK(k, opt.Seed)
-	globalCandidates(g, opt, func(u, v graph.NodeID) {
-		top.Add(u, v, linalg.Dot(scaled.Row(int(u)), raw.Row(int(v))))
+	return predictGlobal(g, k, opt, func(u, v graph.NodeID) float64 {
+		return linalg.Dot(scaled.Row(int(u)), raw.Row(int(v)))
 	})
-	return top.Result()
 }
 
 func (katzLR) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
 	scaled, raw := katzFactors(g, opt)
 	out := make([]float64, len(pairs))
-	for i, p := range pairs {
-		out[i] = linalg.Dot(scaled.Row(int(p.U)), raw.Row(int(p.V)))
-	}
+	shardRange(len(pairs), workerCount(opt), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := pairs[i]
+			out[i] = linalg.Dot(scaled.Row(int(p.U)), raw.Row(int(p.V)))
+		}
+	})
 	return out
 }
 
@@ -99,29 +102,24 @@ func katzSCFactors(g *graph.Graph, opt Options) (p, c *linalg.Dense) {
 		maxLen = 4
 	}
 	landmarks := pickLandmarks(g, L, opt.Seed)
-	// C columns: truncated Katz vectors from each landmark.
+	// C columns: truncated Katz vectors from each landmark. Columns are
+	// independent, so the computation shards over landmarks; workers write
+	// disjoint columns of c.
 	c = linalg.NewDense(n, L)
-	cur, next := newSparseVec(n), newSparseVec(n)
-	acc := newSparseVec(n)
-	for j, l := range landmarks {
-		cur.reset()
-		acc.reset()
-		cur.add(l, 1)
-		beta := opt.KatzBeta
-		weight := beta
-		for step := 0; step < maxLen; step++ {
-			next.reset()
-			propagate(g, cur, next)
-			for _, v := range next.touched {
-				acc.add(v, weight*next.val[v])
+	workers := workerCount(opt)
+	scratch := make([]*katzScratch, workers)
+	shardRange(len(landmarks), workers, func(wk, lo, hi int) {
+		if scratch[wk] == nil {
+			scratch[wk] = newKatzScratch(n)
+		}
+		s := scratch[wk]
+		for j := lo; j < hi; j++ {
+			katzVector(g, landmarks[j], opt.KatzBeta, maxLen, s)
+			for _, v := range s.acc.touched {
+				c.Set(int(v), j, s.acc.val[v])
 			}
-			cur, next = next, cur
-			weight *= beta
 		}
-		for _, v := range acc.touched {
-			c.Set(int(v), j, acc.val[v])
-		}
-	}
+	})
 	// W = C[landmarks, :], symmetrized; pseudo-inverse via Jacobi.
 	w := linalg.NewDense(L, L)
 	for i, l := range landmarks {
@@ -186,18 +184,19 @@ func pickLandmarks(g *graph.Graph, L int, seed int64) []graph.NodeID {
 func (katzSC) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
 	p, c := katzSCFactors(g, opt)
-	top := newTopK(k, opt.Seed)
-	globalCandidates(g, opt, func(u, v graph.NodeID) {
-		top.Add(u, v, linalg.Dot(p.Row(int(u)), c.Row(int(v))))
+	return predictGlobal(g, k, opt, func(u, v graph.NodeID) float64 {
+		return linalg.Dot(p.Row(int(u)), c.Row(int(v)))
 	})
-	return top.Result()
 }
 
 func (katzSC) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
 	p, c := katzSCFactors(g, opt)
 	out := make([]float64, len(pairs))
-	for i, pr := range pairs {
-		out[i] = linalg.Dot(p.Row(int(pr.U)), c.Row(int(pr.V)))
-	}
+	shardRange(len(pairs), workerCount(opt), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pr := pairs[i]
+			out[i] = linalg.Dot(p.Row(int(pr.U)), c.Row(int(pr.V)))
+		}
+	})
 	return out
 }

@@ -1,8 +1,6 @@
 package predict
 
 import (
-	"sort"
-
 	"linkpred/internal/graph"
 )
 
@@ -21,8 +19,18 @@ var KatzExact Algorithm = katzExactT{}
 
 func (katzExactT) Name() string { return "KatzExact" }
 
-// katzVector accumulates Σ_{l=1..maxLen} βˡ Aˡ e_u into acc.
-func katzVector(g *graph.Graph, u graph.NodeID, beta float64, maxLen int, cur, next, acc *sparseVec) {
+// katzScratch is one worker's propagation state for truncated Katz columns.
+type katzScratch struct {
+	cur, next, acc *sparseVec
+}
+
+func newKatzScratch(n int) *katzScratch {
+	return &katzScratch{cur: newSparseVec(n), next: newSparseVec(n), acc: newSparseVec(n)}
+}
+
+// katzVector accumulates Σ_{l=1..maxLen} βˡ Aˡ e_u into s.acc.
+func katzVector(g *graph.Graph, u graph.NodeID, beta float64, maxLen int, s *katzScratch) {
+	cur, next, acc := s.cur, s.next, s.acc
 	cur.reset()
 	acc.reset()
 	cur.add(u, 1)
@@ -36,6 +44,7 @@ func katzVector(g *graph.Graph, u graph.NodeID, beta float64, maxLen int, cur, n
 		cur, next = next, cur
 		weight *= beta
 	}
+	s.cur, s.next = cur, next
 }
 
 func katzLen(opt Options) int {
@@ -48,43 +57,56 @@ func katzLen(opt Options) int {
 func (katzExactT) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
 	n := g.NumNodes()
-	top := newTopK(k, opt.Seed)
-	cur, next, acc := newSparseVec(n), newSparseVec(n), newSparseVec(n)
 	maxLen := katzLen(opt)
-	for u := 0; u < n; u++ {
-		uid := graph.NodeID(u)
-		if g.Degree(uid) == 0 {
-			continue
+	workers := workerCount(opt)
+	parts := make([]*topK, workers)
+	scratch := make([]*katzScratch, workers)
+	shardRange(n, workers, func(wk, lo, hi int) {
+		if parts[wk] == nil {
+			parts[wk] = newTopK(k, opt.Seed)
+			scratch[wk] = newKatzScratch(n)
 		}
-		katzVector(g, uid, opt.KatzBeta, maxLen, cur, next, acc)
-		for _, v := range acc.touched {
-			if v <= uid || g.HasEdge(uid, v) {
+		top, s := parts[wk], scratch[wk]
+		for u := lo; u < hi; u++ {
+			uid := graph.NodeID(u)
+			if g.Degree(uid) == 0 {
 				continue
 			}
-			top.Add(uid, v, acc.val[v])
+			katzVector(g, uid, opt.KatzBeta, maxLen, s)
+			for _, v := range s.acc.touched {
+				if v <= uid || g.HasEdge(uid, v) {
+					continue
+				}
+				top.Add(uid, v, s.acc.val[v])
+			}
 		}
-	}
-	return top.Result()
+	})
+	return mergeTopK(k, opt.Seed, parts).Result()
 }
 
 func (katzExactT) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
 	n := g.NumNodes()
 	out := make([]float64, len(pairs))
-	idx := make([]int, len(pairs))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return pairs[idx[a]].U < pairs[idx[b]].U })
-	cur, next, acc := newSparseVec(n), newSparseVec(n), newSparseVec(n)
+	idx := sourceSortedIndex(pairs, func(p Pair) graph.NodeID { return p.U })
 	maxLen := katzLen(opt)
-	curU := graph.NodeID(-1)
-	for _, i := range idx {
-		p := pairs[i]
-		if p.U != curU {
-			curU = p.U
-			katzVector(g, curU, opt.KatzBeta, maxLen, cur, next, acc)
+	workers := workerCount(opt)
+	scratch := make([]*katzScratch, workers)
+	shardRange(len(idx), workers, func(wk, lo, hi int) {
+		if scratch[wk] == nil {
+			scratch[wk] = newKatzScratch(n)
 		}
-		out[i] = acc.val[p.V]
-	}
+		s := scratch[wk]
+		curU := graph.NodeID(-1)
+		first := true
+		for _, i := range idx[lo:hi] {
+			p := pairs[i]
+			if p.U != curU || first {
+				curU = p.U
+				first = false
+				katzVector(g, curU, opt.KatzBeta, maxLen, s)
+			}
+			out[i] = s.acc.val[p.V]
+		}
+	})
 	return out
 }

@@ -23,32 +23,34 @@ func (m *localMetric) Name() string { return m.name }
 
 func (m *localMetric) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
+	// The naive Bayes statistics are built once, before the fan-out, and are
+	// read-only across workers.
 	var nb *naiveBayes
 	if m.usesNB {
-		nb = newNaiveBayes(g)
+		nb = newNaiveBayes(g, workerCount(opt))
 	}
-	top := newTopK(k, opt.Seed)
-	twoHopPairs(g, func(u, v graph.NodeID) {
+	return predictTwoHop(g, k, opt, func(u, v graph.NodeID, top *topK) {
 		common := g.CommonNeighbors(u, v)
 		top.Add(u, v, m.score(g, nb, u, v, common))
 	})
-	return top.Result()
 }
 
 func (m *localMetric) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
 	var nb *naiveBayes
 	if m.usesNB {
-		nb = newNaiveBayes(g)
+		nb = newNaiveBayes(g, workerCount(opt))
 	}
 	out := make([]float64, len(pairs))
-	for i, p := range pairs {
-		common := g.CommonNeighbors(p.U, p.V)
-		if len(common) == 0 {
-			out[i] = 0
-			continue
+	shardRange(len(pairs), workerCount(opt), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := pairs[i]
+			common := g.CommonNeighbors(p.U, p.V)
+			if len(common) == 0 {
+				continue
+			}
+			out[i] = m.score(g, nb, p.U, p.V, common)
 		}
-		out[i] = m.score(g, nb, p.U, p.V, common)
-	}
+	})
 	return out
 }
 
@@ -61,20 +63,39 @@ type naiveBayes struct {
 	logR []float64
 }
 
-func newNaiveBayes(g *graph.Graph) *naiveBayes {
+func newNaiveBayes(g *graph.Graph, workers int) *naiveBayes {
 	n := g.NumNodes()
+	// The triangle count is sharded by edge source; each worker accumulates
+	// into a private array and the integer sums merge exactly, so the
+	// statistics are independent of worker count.
+	partTri := make([][]int64, workers)
+	shardRange(n, workers, func(wk, lo, hi int) {
+		tri := partTri[wk]
+		if tri == nil {
+			tri = make([]int64, n)
+			partTri[wk] = tri
+		}
+		for u := lo; u < hi; u++ {
+			uid := graph.NodeID(u)
+			for _, v := range g.Neighbors(uid) {
+				if v <= uid {
+					continue
+				}
+				for _, w := range g.CommonNeighbors(uid, v) {
+					tri[uid]++
+					tri[v]++
+					tri[w]++
+				}
+			}
+		}
+	})
 	tri3 := make([]int64, n) // 3x triangle count per node
-	for u := 0; u < n; u++ {
-		uid := graph.NodeID(u)
-		for _, v := range g.Neighbors(uid) {
-			if v <= uid {
-				continue
-			}
-			for _, w := range g.CommonNeighbors(uid, v) {
-				tri3[uid]++
-				tri3[v]++
-				tri3[w]++
-			}
+	for _, part := range partTri {
+		if part == nil {
+			continue
+		}
+		for i, v := range part {
+			tri3[i] += v
 		}
 	}
 	nb := &naiveBayes{logR: make([]float64, n)}

@@ -9,7 +9,10 @@ import (
 // paAlgorithm is Preferential Attachment: score(u,v) = deg(u) * deg(v).
 // Predict computes the exact global top-k with a frontier heap over the
 // degree-sorted node list, the "top-K node pairs" optimization the paper
-// mentions for PA's fast runtime (§3.2).
+// mentions for PA's fast runtime (§3.2). The frontier expansion is
+// inherently sequential (each pop decides the next pushes), so Predict runs
+// on one goroutine regardless of Options.Workers — it is already the
+// cheapest algorithm by orders of magnitude; ScorePairs shards normally.
 type paAlgorithm struct{}
 
 // PA is the Preferential Attachment algorithm [Barabási & Albert 1999].
@@ -17,11 +20,13 @@ var PA Algorithm = paAlgorithm{}
 
 func (paAlgorithm) Name() string { return "PA" }
 
-func (paAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, _ Options) []float64 {
+func (paAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
 	out := make([]float64, len(pairs))
-	for i, p := range pairs {
-		out[i] = float64(g.Degree(p.U)) * float64(g.Degree(p.V))
-	}
+	shardRange(len(pairs), workerCount(opt), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = float64(g.Degree(pairs[i].U)) * float64(g.Degree(pairs[i].V))
+		}
+	})
 	return out
 }
 

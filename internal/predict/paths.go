@@ -1,7 +1,7 @@
 package predict
 
 import (
-	"sort"
+	"sync/atomic"
 
 	"linkpred/internal/graph"
 )
@@ -19,78 +19,41 @@ func (spAlgorithm) Name() string { return "SP" }
 
 func (spAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
-	top := newTopK(k, opt.Seed)
 	// Distance-2 pairs dominate; they are cheap to enumerate exactly.
-	count := 0
-	twoHopPairs(g, func(u, v graph.NodeID) {
+	var count int64
+	parts := twoHopParts(g, k, opt, func(u, v graph.NodeID, top *topK) {
 		top.Add(u, v, -2)
-		count++
+		atomic.AddInt64(&count, 1)
 	})
-	if count >= k {
-		return top.Result()
+	if int(count) >= k {
+		return mergeTopK(k, opt.Seed, parts).Result()
 	}
-	// Not enough 2-hop pairs: BFS out to increasing depths.
+	// Not enough 2-hop pairs: per-source truncated BFS out to increasing
+	// depths. The BFS re-discovers every distance-2 pair, so the sweep above
+	// is discarded rather than merged (merging would insert those pairs
+	// twice and could surface duplicates in the result).
 	n := g.NumNodes()
-	dist := make([]int32, n)
-	var queue []graph.NodeID
 	maxDepth := int32(opt.SPMaxDepth)
 	if maxDepth < 3 {
 		maxDepth = 3
 	}
-	for u := 0; u < n; u++ {
-		uid := graph.NodeID(u)
-		for i := range dist {
-			dist[i] = -1
+	workers := workerCount(opt)
+	bfsParts := make([]*topK, workers)
+	dists := make([][]int32, workers)
+	queues := make([][]graph.NodeID, workers)
+	shardRange(n, workers, func(wk, lo, hi int) {
+		if bfsParts[wk] == nil {
+			bfsParts[wk] = newTopK(k, opt.Seed)
+			dists[wk] = make([]int32, n)
 		}
-		dist[uid] = 0
-		queue = append(queue[:0], uid)
-		for len(queue) > 0 {
-			x := queue[0]
-			queue = queue[1:]
-			if dist[x] >= maxDepth {
-				continue
+		top, dist, queue := bfsParts[wk], dists[wk], queues[wk]
+		for u := lo; u < hi; u++ {
+			uid := graph.NodeID(u)
+			for i := range dist {
+				dist[i] = -1
 			}
-			for _, y := range g.Neighbors(x) {
-				if dist[y] < 0 {
-					dist[y] = dist[x] + 1
-					queue = append(queue, y)
-				}
-			}
-		}
-		for v := int(uid) + 1; v < n; v++ {
-			if d := dist[v]; d >= 2 {
-				top.Add(uid, graph.NodeID(v), float64(-d))
-			}
-		}
-	}
-	return top.Result()
-}
-
-func (spAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
-	maxDepth := int32(opt.SPMaxDepth)
-	if maxDepth <= 0 {
-		maxDepth = 6
-	}
-	out := make([]float64, len(pairs))
-	// Group queries by source to share one truncated BFS per distinct node.
-	idx := make([]int, len(pairs))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return pairs[idx[a]].U < pairs[idx[b]].U })
-	n := g.NumNodes()
-	dist := make([]int32, n)
-	var queue []graph.NodeID
-	cur := graph.NodeID(-1)
-	for _, i := range idx {
-		p := pairs[i]
-		if p.U != cur {
-			cur = p.U
-			for j := range dist {
-				dist[j] = -1
-			}
-			dist[cur] = 0
-			queue = append(queue[:0], cur)
+			dist[uid] = 0
+			queue = append(queue[:0], uid)
 			for len(queue) > 0 {
 				x := queue[0]
 				queue = queue[1:]
@@ -104,13 +67,69 @@ func (spAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float
 					}
 				}
 			}
+			for v := u + 1; v < n; v++ {
+				if d := dist[v]; d >= 2 {
+					top.Add(uid, graph.NodeID(v), float64(-d))
+				}
+			}
 		}
-		if d := dist[p.V]; d >= 0 {
-			out[i] = float64(-d)
-		} else {
-			out[i] = float64(-(maxDepth + 2)) // beyond horizon
-		}
+		queues[wk] = queue
+	})
+	return mergeTopK(k, opt.Seed, bfsParts).Result()
+}
+
+func (spAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	maxDepth := int32(opt.SPMaxDepth)
+	if maxDepth <= 0 {
+		maxDepth = 6
 	}
+	out := make([]float64, len(pairs))
+	// Group queries by source to share one truncated BFS per distinct node
+	// within a chunk.
+	idx := sourceSortedIndex(pairs, func(p Pair) graph.NodeID { return p.U })
+	n := g.NumNodes()
+	workers := workerCount(opt)
+	dists := make([][]int32, workers)
+	queues := make([][]graph.NodeID, workers)
+	shardRange(len(idx), workers, func(wk, lo, hi int) {
+		if dists[wk] == nil {
+			dists[wk] = make([]int32, n)
+		}
+		dist, queue := dists[wk], queues[wk]
+		cur := graph.NodeID(-1)
+		first := true
+		for _, i := range idx[lo:hi] {
+			p := pairs[i]
+			if p.U != cur || first {
+				cur = p.U
+				first = false
+				for j := range dist {
+					dist[j] = -1
+				}
+				dist[cur] = 0
+				queue = append(queue[:0], cur)
+				for len(queue) > 0 {
+					x := queue[0]
+					queue = queue[1:]
+					if dist[x] >= maxDepth {
+						continue
+					}
+					for _, y := range g.Neighbors(x) {
+						if dist[y] < 0 {
+							dist[y] = dist[x] + 1
+							queue = append(queue, y)
+						}
+					}
+				}
+			}
+			if d := dist[p.V]; d >= 0 {
+				out[i] = float64(-d)
+			} else {
+				out[i] = float64(-(maxDepth + 2)) // beyond horizon
+			}
+		}
+		queues[wk] = queue
+	})
 	return out
 }
 
@@ -125,66 +144,89 @@ var LP Algorithm = lpAlgorithm{}
 
 func (lpAlgorithm) Name() string { return "LP" }
 
+// lpScratch is one worker's reusable propagation state.
+type lpScratch struct {
+	w1, w2, w3 *sparseVec
+}
+
+func newLPScratch(n int) *lpScratch {
+	return &lpScratch{w1: newSparseVec(n), w2: newSparseVec(n), w3: newSparseVec(n)}
+}
+
 // lpCounts computes w1 = A e_u, w2 = A² e_u and w3 = A³ e_u into the
-// provided reusable vectors.
-func lpCounts(g *graph.Graph, u graph.NodeID, w1, w2, w3 *sparseVec) {
-	w1.reset()
-	w2.reset()
-	w3.reset()
+// scratch vectors.
+func lpCounts(g *graph.Graph, u graph.NodeID, s *lpScratch) {
+	s.w1.reset()
+	s.w2.reset()
+	s.w3.reset()
 	for _, y := range g.Neighbors(u) {
-		w1.add(y, 1)
+		s.w1.add(y, 1)
 	}
-	propagate(g, w1, w2)
-	propagate(g, w2, w3)
+	propagate(g, s.w1, s.w2)
+	propagate(g, s.w2, s.w3)
 }
 
 func (lpAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
 	n := g.NumNodes()
-	top := newTopK(k, opt.Seed)
-	w1, w2, w3 := newSparseVec(n), newSparseVec(n), newSparseVec(n)
-	for u := 0; u < n; u++ {
-		uid := graph.NodeID(u)
-		if g.Degree(uid) == 0 {
-			continue
+	workers := workerCount(opt)
+	parts := make([]*topK, workers)
+	scratch := make([]*lpScratch, workers)
+	shardRange(n, workers, func(wk, lo, hi int) {
+		if parts[wk] == nil {
+			parts[wk] = newTopK(k, opt.Seed)
+			scratch[wk] = newLPScratch(n)
 		}
-		lpCounts(g, uid, w1, w2, w3)
-		// The support of the score is the union of the A² and A³ supports;
-		// the second loop skips pairs already covered by the first.
-		for _, v := range w2.touched {
-			if v <= uid || g.HasEdge(uid, v) {
+		top, s := parts[wk], scratch[wk]
+		for u := lo; u < hi; u++ {
+			uid := graph.NodeID(u)
+			if g.Degree(uid) == 0 {
 				continue
 			}
-			top.Add(uid, v, w2.val[v]+opt.LPEpsilon*w3.val[v])
-		}
-		for _, v := range w3.touched {
-			if v <= uid || w2.val[v] != 0 || g.HasEdge(uid, v) {
-				continue
+			lpCounts(g, uid, s)
+			// The support of the score is the union of the A² and A³
+			// supports; the second loop skips pairs already covered by the
+			// first.
+			for _, v := range s.w2.touched {
+				if v <= uid || g.HasEdge(uid, v) {
+					continue
+				}
+				top.Add(uid, v, s.w2.val[v]+opt.LPEpsilon*s.w3.val[v])
 			}
-			top.Add(uid, v, opt.LPEpsilon*w3.val[v])
+			for _, v := range s.w3.touched {
+				if v <= uid || s.w2.val[v] != 0 || g.HasEdge(uid, v) {
+					continue
+				}
+				top.Add(uid, v, opt.LPEpsilon*s.w3.val[v])
+			}
 		}
-	}
-	return top.Result()
+	})
+	return mergeTopK(k, opt.Seed, parts).Result()
 }
 
 func (lpAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
 	eps := opt.LPEpsilon
 	out := make([]float64, len(pairs))
-	idx := make([]int, len(pairs))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return pairs[idx[a]].U < pairs[idx[b]].U })
+	idx := sourceSortedIndex(pairs, func(p Pair) graph.NodeID { return p.U })
 	n := g.NumNodes()
-	w1, w2, w3 := newSparseVec(n), newSparseVec(n), newSparseVec(n)
-	cur := graph.NodeID(-1)
-	for _, i := range idx {
-		p := pairs[i]
-		if p.U != cur {
-			cur = p.U
-			lpCounts(g, cur, w1, w2, w3)
+	workers := workerCount(opt)
+	scratch := make([]*lpScratch, workers)
+	shardRange(len(idx), workers, func(wk, lo, hi int) {
+		if scratch[wk] == nil {
+			scratch[wk] = newLPScratch(n)
 		}
-		out[i] = w2.val[p.V] + eps*w3.val[p.V]
-	}
+		s := scratch[wk]
+		cur := graph.NodeID(-1)
+		first := true
+		for _, i := range idx[lo:hi] {
+			p := pairs[i]
+			if p.U != cur || first {
+				cur = p.U
+				first = false
+				lpCounts(g, cur, s)
+			}
+			out[i] = s.w2.val[p.V] + eps*s.w3.val[p.V]
+		}
+	})
 	return out
 }

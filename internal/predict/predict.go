@@ -52,6 +52,11 @@ type Options struct {
 	// Seed drives tie-breaking and every internal randomized routine.
 	Seed int64
 
+	// Workers bounds the goroutines used inside Predict and ScorePairs
+	// (0 = runtime.GOMAXPROCS). Output is bit-identical for every worker
+	// count; validateOptions rejects negative values.
+	Workers int
+
 	// KatzBeta is the Katz attenuation factor (paper: 0.001).
 	KatzBeta float64
 	// KatzRank is the rank of the low-rank approximation Katz_lr.
@@ -194,44 +199,53 @@ func (t *topK) siftDown(i int) {
 
 // Add offers a candidate; returns quickly when it cannot enter the top k.
 func (t *topK) Add(u, v graph.NodeID, score float64) {
+	t.add(Pair{U: minID(u, v), V: maxID(u, v), Score: score}, tieHash(t.seed, u, v))
+}
+
+// add inserts an already-canonical entry with a precomputed tie-hash; the
+// parallel merge uses it to carry ties across per-worker selections without
+// rehashing.
+func (t *topK) add(p Pair, tie uint64) {
 	if t.k <= 0 {
 		return
 	}
-	tie := tieHash(t.seed, u, v)
 	if len(t.pairs) == t.k {
 		worst := t.pairs[0]
-		if score < worst.Score || (score == worst.Score && tie <= t.ties[0]) {
+		if p.Score < worst.Score || (p.Score == worst.Score && tie <= t.ties[0]) {
 			return
 		}
-		t.pairs[0] = Pair{U: minID(u, v), V: maxID(u, v), Score: score}
+		t.pairs[0] = p
 		t.ties[0] = tie
 		t.siftDown(0)
 		return
 	}
-	t.pairs = append(t.pairs, Pair{U: minID(u, v), V: maxID(u, v), Score: score})
+	t.pairs = append(t.pairs, p)
 	t.ties = append(t.ties, tie)
 	t.siftUp(len(t.pairs) - 1)
 }
 
-// Result returns the selected pairs sorted best-first.
+// Result returns the selected pairs sorted best-first. The sort permutes
+// (pairs, ties) in place — no index slice, no copy — which finalizes the
+// selector: offering further candidates afterwards is not supported.
 func (t *topK) Result() []Pair {
-	idx := make([]int, len(t.pairs))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		i, j := idx[a], idx[b]
-		if t.pairs[i].Score != t.pairs[j].Score {
-			return t.pairs[i].Score > t.pairs[j].Score
-		}
-		return t.ties[i] > t.ties[j]
-	})
-	out := make([]Pair, len(idx))
-	for i, j := range idx {
-		out[i] = t.pairs[j]
-	}
-	return out
+	sort.Sort((*topKByRank)(t))
+	return t.pairs
 }
+
+// topKByRank sorts a topK's parallel slices best-first (descending score,
+// then descending tie-hash).
+type topKByRank topK
+
+func (t *topKByRank) Len() int { return len(t.pairs) }
+
+func (t *topKByRank) Less(i, j int) bool {
+	if t.pairs[i].Score != t.pairs[j].Score {
+		return t.pairs[i].Score > t.pairs[j].Score
+	}
+	return t.ties[i] > t.ties[j]
+}
+
+func (t *topKByRank) Swap(i, j int) { (*topK)(t).swap(i, j) }
 
 // Ranker is an exported bounded top-k selector with the same deterministic
 // tie-breaking Predict uses; the classification pipeline ranks candidate
@@ -260,34 +274,6 @@ func maxID(a, b graph.NodeID) graph.NodeID {
 		return b
 	}
 	return a
-}
-
-// twoHopPairs enumerates every unconnected pair (u, v) with u < v at
-// distance exactly two, calling emit once per pair. A stamp array keeps the
-// sweep allocation-free across nodes.
-func twoHopPairs(g *graph.Graph, emit func(u, v graph.NodeID)) {
-	n := g.NumNodes()
-	stamp := make([]int32, n)
-	for i := range stamp {
-		stamp[i] = -1
-	}
-	for u := 0; u < n; u++ {
-		uid := graph.NodeID(u)
-		// Mark direct neighbors so they are excluded.
-		for _, w := range g.Neighbors(uid) {
-			stamp[w] = int32(u)
-		}
-		stamp[u] = int32(u)
-		for _, w := range g.Neighbors(uid) {
-			for _, v := range g.Neighbors(w) {
-				if v <= uid || stamp[v] == int32(u) {
-					continue
-				}
-				stamp[v] = int32(u)
-				emit(uid, v)
-			}
-		}
-	}
 }
 
 // ExpectedRandomOverlap returns the expected number of correct predictions
@@ -341,7 +327,7 @@ func TruthSet(prev *graph.Graph, newEdges []graph.Edge) map[uint64]bool {
 // validateOptions panics on nonsensical option values; algorithms call it at
 // the top of Predict.
 func validateOptions(opt Options) {
-	if opt.KatzBeta < 0 || opt.LPEpsilon < 0 || opt.PPRAlpha <= 0 || opt.PPRAlpha >= 1 {
+	if opt.KatzBeta < 0 || opt.LPEpsilon < 0 || opt.PPRAlpha <= 0 || opt.PPRAlpha >= 1 || opt.Workers < 0 {
 		panic(fmt.Sprintf("predict: invalid options %+v", opt))
 	}
 }

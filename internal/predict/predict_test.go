@@ -68,7 +68,7 @@ func TestLocalMetricValues(t *testing.T) {
 
 func TestNaiveBayesStats(t *testing.T) {
 	g := kite()
-	nb := newNaiveBayes(g)
+	nb := newNaiveBayes(g, 1)
 	// s = 5*4/(2*6) - 1 = 10/6*... = 20/12 - 1 = 2/3.
 	wantLogS := math.Log(5.0*4.0/(2.0*6.0) - 1)
 	if math.Abs(nb.logS-wantLogS) > 1e-12 {
@@ -230,6 +230,65 @@ func TestTopKTieBreakDeterministic(t *testing.T) {
 	}
 	if same == len(a) {
 		t.Error("different seeds produced identical tie-broken selection")
+	}
+}
+
+// TestTopKResultTieOrdering pins the equal-score contract of the in-place
+// Result sort: pairs with identical scores come back ordered by descending
+// tie-hash, matching the merge order the parallel engine relies on.
+func TestTopKResultTieOrdering(t *testing.T) {
+	const seed = 11
+	top := newTopK(6, seed)
+	for v := graph.NodeID(1); v <= 6; v++ {
+		top.Add(0, v, 1.0)
+	}
+	res := top.Result()
+	if len(res) != 6 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		prev := tieHash(seed, res[i-1].U, res[i-1].V)
+		cur := tieHash(seed, res[i].U, res[i].V)
+		if prev < cur {
+			t.Fatalf("equal-score entries out of tie order at %d: %016x then %016x", i, prev, cur)
+		}
+	}
+	// Result sorts (pairs, ties) in place: a second call must return the
+	// same slice in the same order, not a fresh permutation.
+	again := top.Result()
+	if &again[0] != &res[0] {
+		t.Error("Result allocated a new slice")
+	}
+	for i := range res {
+		if res[i] != again[i] {
+			t.Fatalf("repeated Result changed order at %d", i)
+		}
+	}
+}
+
+// TestSPFallbackNoDuplicates covers the sparse-graph BFS fallback of SP
+// Predict (fewer 2-hop pairs than k). The seed implementation merged the
+// 2-hop sweep with the BFS re-discovery and could emit a pair twice; the
+// engine rebuild discards the sweep instead.
+func TestSPFallbackNoDuplicates(t *testing.T) {
+	g := kite() // only 3 two-hop pairs, so k=8 forces the BFS fallback
+	pred := SP.Predict(g, 8, DefaultOptions())
+	seen := map[uint64]bool{}
+	for _, p := range pred {
+		if seen[p.Key()] {
+			t.Fatalf("duplicate prediction %+v", p)
+		}
+		seen[p.Key()] = true
+	}
+	// The three distance-2 pairs must rank above the lone distance-3 pair.
+	for _, k := range []uint64{PairKey(0, 3), PairKey(1, 4), PairKey(2, 4)} {
+		if !seen[k] {
+			u, v := KeyPair(k)
+			t.Errorf("missing distance-2 pair (%d,%d)", u, v)
+		}
+	}
+	if last := pred[len(pred)-1]; last.Score != -3 || last.Key() != PairKey(0, 4) {
+		t.Errorf("expected (0,4) at distance 3 last, got %+v", last)
 	}
 }
 

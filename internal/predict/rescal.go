@@ -97,19 +97,21 @@ func rescalScore(xr, x *linalg.Dense, u, v graph.NodeID) float64 {
 
 func (rescalAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
+	// ALS runs once (serial); the factors are read-only across workers.
 	xr, x := rescalFactors(g, opt)
-	top := newTopK(k, opt.Seed)
-	globalCandidates(g, opt, func(u, v graph.NodeID) {
-		top.Add(u, v, rescalScore(xr, x, u, v))
+	return predictGlobal(g, k, opt, func(u, v graph.NodeID) float64 {
+		return rescalScore(xr, x, u, v)
 	})
-	return top.Result()
 }
 
 func (rescalAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
 	xr, x := rescalFactors(g, opt)
 	out := make([]float64, len(pairs))
-	for i, p := range pairs {
-		out[i] = rescalScore(xr, x, p.U, p.V)
-	}
+	shardRange(len(pairs), workerCount(opt), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := pairs[i]
+			out[i] = rescalScore(xr, x, p.U, p.V)
+		}
+	})
 	return out
 }

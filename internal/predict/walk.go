@@ -28,15 +28,26 @@ func steps(opt Options) int {
 	return opt.LRWSteps
 }
 
-// lrwDistribution fills dst with π_u·(m), reusing cur/next as scratch.
-func lrwDistribution(g *graph.Graph, u graph.NodeID, m int, cur, next *sparseVec) *sparseVec {
+// walkScratch is one worker's pair of propagation vectors.
+type walkScratch struct {
+	cur, next *sparseVec
+}
+
+func newWalkScratch(n int) *walkScratch {
+	return &walkScratch{cur: newSparseVec(n), next: newSparseVec(n)}
+}
+
+// lrwDistribution fills a scratch vector with π_u·(m) and returns it.
+func lrwDistribution(g *graph.Graph, u graph.NodeID, m int, s *walkScratch) *sparseVec {
+	cur, next := s.cur, s.next
 	cur.reset()
 	cur.add(u, 1)
-	for s := 0; s < m; s++ {
+	for step := 0; step < m; step++ {
 		next.reset()
 		propagateWalk(g, cur, next)
 		cur, next = next, cur
 	}
+	s.cur, s.next = cur, next
 	return cur
 }
 
@@ -48,23 +59,31 @@ func (lrwAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 		return nil
 	}
 	m := steps(opt)
-	top := newTopK(k, opt.Seed)
-	cur, next := newSparseVec(n), newSparseVec(n)
-	for u := 0; u < n; u++ {
-		uid := graph.NodeID(u)
-		du := float64(g.Degree(uid))
-		if du == 0 {
-			continue
+	workers := workerCount(opt)
+	parts := make([]*topK, workers)
+	scratch := make([]*walkScratch, workers)
+	shardRange(n, workers, func(wk, lo, hi int) {
+		if parts[wk] == nil {
+			parts[wk] = newTopK(k, opt.Seed)
+			scratch[wk] = newWalkScratch(n)
 		}
-		dist := lrwDistribution(g, uid, m, cur, next)
-		for _, v := range dist.touched {
-			if v <= uid || g.HasEdge(uid, v) {
+		top, s := parts[wk], scratch[wk]
+		for u := lo; u < hi; u++ {
+			uid := graph.NodeID(u)
+			du := float64(g.Degree(uid))
+			if du == 0 {
 				continue
 			}
-			top.Add(uid, v, du*dist.val[v]/edges)
+			dist := lrwDistribution(g, uid, m, s)
+			for _, v := range dist.touched {
+				if v <= uid || g.HasEdge(uid, v) {
+					continue
+				}
+				top.Add(uid, v, du*dist.val[v]/edges)
+			}
 		}
-	}
-	return top.Result()
+	})
+	return mergeTopK(k, opt.Seed, parts).Result()
 }
 
 func (lrwAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
@@ -75,22 +94,25 @@ func (lrwAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []floa
 	if edges == 0 {
 		return out
 	}
-	idx := make([]int, len(pairs))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return pairs[idx[a]].U < pairs[idx[b]].U })
-	cur, next := newSparseVec(n), newSparseVec(n)
-	var dist *sparseVec
-	curU := graph.NodeID(-1)
-	for _, i := range idx {
-		p := pairs[i]
-		if p.U != curU {
-			curU = p.U
-			dist = lrwDistribution(g, curU, m, cur, next)
+	idx := sourceSortedIndex(pairs, func(p Pair) graph.NodeID { return p.U })
+	workers := workerCount(opt)
+	scratch := make([]*walkScratch, workers)
+	shardRange(len(idx), workers, func(wk, lo, hi int) {
+		if scratch[wk] == nil {
+			scratch[wk] = newWalkScratch(n)
 		}
-		out[i] = float64(g.Degree(p.U)) * dist.val[p.V] / edges
-	}
+		s := scratch[wk]
+		var dist *sparseVec
+		curU := graph.NodeID(-1)
+		for _, i := range idx[lo:hi] {
+			p := pairs[i]
+			if p.U != curU || dist == nil {
+				curU = p.U
+				dist = lrwDistribution(g, curU, m, s)
+			}
+			out[i] = float64(g.Degree(p.U)) * dist.val[p.V] / edges
+		}
+	})
 	return out
 }
 
@@ -111,17 +133,28 @@ const pprPerSource = 256
 
 func (pprAlgorithm) Name() string { return "PPR" }
 
-// pprPush runs forward push from u, leaving the estimate in p. A
+// pprScratch is one worker's forward-push state.
+type pprScratch struct {
+	p, r  *sparseVec
+	queue []graph.NodeID
+}
+
+func newPPRScratch(n int) *pprScratch {
+	return &pprScratch{p: newSparseVec(n), r: newSparseVec(n), queue: make([]graph.NodeID, 0, 1024)}
+}
+
+// pprPush runs forward push from u, leaving the estimate in s.p. A
 // non-positive eps would make the push loop until float underflow, so it
 // falls back to the default threshold.
-func pprPush(g *graph.Graph, u graph.NodeID, alpha, eps float64, p, r *sparseVec, queue *[]graph.NodeID) {
+func pprPush(g *graph.Graph, u graph.NodeID, alpha, eps float64, s *pprScratch) {
 	if eps <= 0 {
 		eps = 1e-5
 	}
+	p, r := s.p, s.r
 	p.reset()
 	r.reset()
 	r.add(u, 1)
-	q := (*queue)[:0]
+	q := s.queue[:0]
 	q = append(q, u)
 	inQueue := map[graph.NodeID]bool{u: true}
 	for len(q) > 0 {
@@ -150,39 +183,64 @@ func pprPush(g *graph.Graph, u graph.NodeID, alpha, eps float64, p, r *sparseVec
 			}
 		}
 	}
-	*queue = q[:0]
+	s.queue = q[:0]
 }
 
 func (pprAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
 	n := g.NumNodes()
-	acc := make(map[uint64]float64)
-	p, r := newSparseVec(n), newSparseVec(n)
-	queue := make([]graph.NodeID, 0, 1024)
 	type hit struct {
 		v graph.NodeID
 		s float64
 	}
-	hits := make([]hit, 0, 1024)
-	for u := 0; u < n; u++ {
-		uid := graph.NodeID(u)
-		if g.Degree(uid) == 0 {
-			continue
+	workers := workerCount(opt)
+	accs := make([]map[uint64]float64, workers)
+	scratch := make([]*pprScratch, workers)
+	hitBufs := make([][]hit, workers)
+	shardRange(n, workers, func(wk, lo, hi int) {
+		if scratch[wk] == nil {
+			scratch[wk] = newPPRScratch(n)
+			accs[wk] = make(map[uint64]float64)
+			hitBufs[wk] = make([]hit, 0, 1024)
 		}
-		pprPush(g, uid, opt.PPRAlpha, opt.PPREps, p, r, &queue)
-		hits = hits[:0]
-		for _, v := range p.touched {
-			if v == uid || g.HasEdge(uid, v) {
+		s, acc := scratch[wk], accs[wk]
+		for u := lo; u < hi; u++ {
+			uid := graph.NodeID(u)
+			if g.Degree(uid) == 0 {
 				continue
 			}
-			hits = append(hits, hit{v: v, s: p.val[v]})
+			pprPush(g, uid, opt.PPRAlpha, opt.PPREps, s)
+			hits := hitBufs[wk][:0]
+			for _, v := range s.p.touched {
+				if v == uid || g.HasEdge(uid, v) {
+					continue
+				}
+				hits = append(hits, hit{v: v, s: s.p.val[v]})
+			}
+			if len(hits) > pprPerSource {
+				sort.Slice(hits, func(a, b int) bool { return hits[a].s > hits[b].s })
+				hits = hits[:pprPerSource]
+			}
+			for _, h := range hits {
+				acc[PairKey(uid, h.v)] += h.s
+			}
+			hitBufs[wk] = hits[:0]
 		}
-		if len(hits) > pprPerSource {
-			sort.Slice(hits, func(a, b int) bool { return hits[a].s > hits[b].s })
-			hits = hits[:pprPerSource]
+	})
+	// Merge the per-worker accumulators. Each pair receives at most two
+	// contributions (one per endpoint's push), and two-operand float sums
+	// are commutative, so the merged values are worker-count independent.
+	var acc map[uint64]float64
+	for _, part := range accs {
+		if part == nil {
+			continue
 		}
-		for _, h := range hits {
-			acc[PairKey(uid, h.v)] += h.s
+		if acc == nil {
+			acc = part
+			continue
+		}
+		for key, s := range part {
+			acc[key] += s
 		}
 	}
 	top := newTopK(k, opt.Seed)
@@ -196,15 +254,13 @@ func (pprAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 func (pprAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
 	n := g.NumNodes()
 	out := make([]float64, len(pairs))
-	p, r := newSparseVec(n), newSparseVec(n)
-	queue := make([]graph.NodeID, 0, 1024)
+	workers := workerCount(opt)
+	scratch := make([]*pprScratch, workers)
 	// Two passes: once grouped by U adding π_u[v], once grouped by V adding
-	// π_v[u]; both share the push cache keyed on the group node.
+	// π_v[u]. Each pass shards the grouped index list; a pass completes
+	// fully before the next starts, so the two += writes per output slot
+	// never race.
 	for pass := 0; pass < 2; pass++ {
-		idx := make([]int, len(pairs))
-		for i := range idx {
-			idx[i] = i
-		}
 		src := func(pr Pair) graph.NodeID {
 			if pass == 0 {
 				return pr.U
@@ -217,16 +273,23 @@ func (pprAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []floa
 			}
 			return pr.U
 		}
-		sort.Slice(idx, func(a, b int) bool { return src(pairs[idx[a]]) < src(pairs[idx[b]]) })
-		cur := graph.NodeID(-1)
-		for _, i := range idx {
-			s := src(pairs[i])
-			if s != cur {
-				cur = s
-				pprPush(g, cur, opt.PPRAlpha, opt.PPREps, p, r, &queue)
+		idx := sourceSortedIndex(pairs, src)
+		shardRange(len(idx), workers, func(wk, lo, hi int) {
+			if scratch[wk] == nil {
+				scratch[wk] = newPPRScratch(n)
 			}
-			out[i] += p.val[dst(pairs[i])]
-		}
+			s := scratch[wk]
+			cur := graph.NodeID(-1)
+			first := true
+			for _, i := range idx[lo:hi] {
+				if sv := src(pairs[i]); sv != cur || first {
+					cur = sv
+					first = false
+					pprPush(g, cur, opt.PPRAlpha, opt.PPREps, s)
+				}
+				out[i] += s.p.val[dst(pairs[i])]
+			}
+		})
 	}
 	return out
 }

@@ -49,7 +49,9 @@ type (
 type (
 	// Pair is a scored candidate node pair.
 	Pair = predict.Pair
-	// Options carries algorithm parameters (see DefaultOptions).
+	// Options carries algorithm parameters (see DefaultOptions). Its
+	// Workers field controls the parallel scoring engine (0 = GOMAXPROCS);
+	// output is bit-identical at every worker count.
 	Options = predict.Options
 	// Algorithm is one metric-based link prediction method.
 	Algorithm = predict.Algorithm
