@@ -15,10 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"linkpred/internal/gen"
+	"linkpred/internal/obs"
 	"linkpred/internal/predict"
 )
 
@@ -30,15 +34,41 @@ type result struct {
 	Speedup   float64 `json:"speedup_vs_serial"`
 }
 
-// output is the file-level schema.
+// output is the file-level schema. The metadata fields stamp which build
+// and machine produced the numbers, so checked-in BENCH_predict.json files
+// from different runs stay comparable.
 type output struct {
-	Preset     string   `json:"preset"`
-	Scale      float64  `json:"scale"`
-	Nodes      int      `json:"nodes"`
-	Edges      int      `json:"edges"`
-	K          int      `json:"k"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Results    []result `json:"results"`
+	Preset     string    `json:"preset"`
+	Scale      float64   `json:"scale"`
+	Nodes      int       `json:"nodes"`
+	Edges      int       `json:"edges"`
+	K          int       `json:"k"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	GoVersion  string    `json:"go_version"`
+	GitSHA     string    `json:"git_sha,omitempty"`
+	Timestamp  time.Time `json:"timestamp"`
+	Results    []result  `json:"results"`
+	// Telemetry carries the obs dump when collection was enabled (-obs,
+	// -debug-addr or -progress), exposing per-algorithm latency histograms
+	// and engine chunk-claim counts next to the wall-clock timings.
+	Telemetry *obs.Dump `json:"telemetry,omitempty"`
+}
+
+// gitSHA resolves the commit of the running binary: the VCS stamp embedded
+// by `go build` when available, otherwise the working tree HEAD, otherwise
+// empty (the field is omitted).
+func gitSHA() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		return strings.TrimSpace(string(out))
+	}
+	return ""
 }
 
 func preset(name string, seed int64) (gen.Config, error) {
@@ -76,7 +106,17 @@ func main() {
 	out := flag.String("out", "BENCH_predict.json", "output path")
 	mintime := flag.Duration("mintime", 2*time.Second, "minimum sampling time per (algorithm, workers) cell")
 	maxIters := flag.Int("maxiters", 50, "iteration cap per cell")
+	obsOn := flag.Bool("obs", false, "collect telemetry and embed the dump in the output JSON")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while benchmarking; implies -obs")
+	progress := flag.Duration("progress", 0, "log a progress line to stderr at this interval; implies -obs")
 	flag.Parse()
+
+	stopProgress, err := obs.Boot(*obsOn, *debugAddr, *progress, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: obs: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProgress()
 
 	cfg, err := preset(*presetName, *seed)
 	if err != nil {
@@ -104,6 +144,9 @@ func main() {
 		Edges:      g.NumEdges(),
 		K:          *k,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		GitSHA:     gitSHA(),
+		Timestamp:  time.Now().UTC(),
 	}
 	for _, alg := range predict.All() {
 		var serialNs int64
@@ -135,6 +178,9 @@ func main() {
 		}
 	}
 
+	if obs.Enabled() {
+		o.Telemetry = obs.Snapshot()
+	}
 	data, err := json.MarshalIndent(o, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -10,14 +10,19 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"linkpred/internal/experiments"
+	"linkpred/internal/obs"
 	"linkpred/internal/predict"
 )
 
@@ -25,6 +30,42 @@ var experimentIDs = []string{
 	"table2", "fig1", "fig2-4", "table4", "fig5", "lambda2", "fig6",
 	"table5", "fig7", "fig8", "table6", "fig9", "fig10", "fig11", "fig12",
 	"fig13-15", "table7", "table8", "fig16", "missing", "directed", "ensembles", "consistency",
+}
+
+// expError records one failed experiment in the metrics report.
+type expError struct {
+	Experiment string `json:"experiment"`
+	Error      string `json:"error"`
+}
+
+// metricsDoc is the schema of the -metrics-out report: run metadata, the
+// experiment list with any failures, and the full telemetry dump (counters,
+// latency histograms, span tree).
+type metricsDoc struct {
+	GeneratedAt time.Time  `json:"generated_at"`
+	GoVersion   string     `json:"go_version"`
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	Experiments []string   `json:"experiments"`
+	Failures    []expError `json:"failures,omitempty"`
+	Metrics     *obs.Dump  `json:"metrics,omitempty"`
+}
+
+func writeMetrics(path string, ids []string, failures []expError) error {
+	doc := metricsDoc{
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Experiments: ids,
+		Failures:    failures,
+	}
+	if obs.Enabled() {
+		doc.Metrics = obs.Snapshot()
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func main() {
@@ -35,12 +76,23 @@ func main() {
 	sample := flag.Int("sample", 400, "snowball sample size (nodes)")
 	stride := flag.Int("stride", 1, "evaluate every stride-th snapshot transition")
 	maxTrans := flag.Int("maxtransitions", 0, "cap on transitions per network (0 = all)")
+	workers := flag.Int("workers", 0, "worker budget for the sweep fan-out and the predict engine (0 = GOMAXPROCS); results are identical at any count")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	metricsOut := flag.String("metrics-out", "", "write the telemetry report (metadata, failures, metrics, span tree) as JSON to this path; implies -obs")
+	obsOn := flag.Bool("obs", false, "enable in-process telemetry collection")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060); implies -obs")
+	progress := flag.Duration("progress", 0, "log a progress line to stderr at this interval (e.g. 30s); implies -obs")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experimentIDs, "\n"))
 		return
+	}
+
+	stopProgress, err := obs.Boot(*obsOn || *metricsOut != "", *debugAddr, *progress, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: obs: %v\n", err)
+		os.Exit(2)
 	}
 
 	c := experiments.DefaultConfig()
@@ -50,6 +102,12 @@ func main() {
 	c.SampleTarget = *sample
 	c.Stride = *stride
 	c.MaxTransitions = *maxTrans
+	if *workers > 0 {
+		c.Workers = *workers
+		c.Opt.Workers = *workers
+	}
+	ctx, root := obs.StartSpan(context.Background(), "experiments")
+	c.Ctx = ctx
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
@@ -57,14 +115,34 @@ func main() {
 	}
 	nets := experiments.LoadNetworks(c)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	defer w.Flush()
+	// Failed experiments are recorded (stderr + metrics report) and the
+	// remaining ones still run; any failure makes the exit status non-zero.
+	var failures []expError
 	for _, id := range ids {
-		if err := run(w, id, c, nets); err != nil {
+		cctx, sp := obs.StartSpan(ctx, "exp/"+id)
+		cc := c
+		cc.Ctx = cctx
+		if err := run(w, id, cc, nets); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
+			failures = append(failures, expError{Experiment: id, Error: err.Error()})
 		}
+		sp.End()
 		w.Flush()
 		fmt.Println()
+	}
+	root.End()
+	stopProgress()
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, ids, failures); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed\n", len(failures), len(ids))
+		os.Exit(1)
 	}
 }
 

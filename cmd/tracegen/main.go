@@ -8,11 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"linkpred/internal/gen"
+	"linkpred/internal/obs"
 )
 
 func main() {
@@ -20,7 +22,17 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "size scale factor")
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("out", "", "output file (default <preset>.trace)")
+	metricsOut := flag.String("metrics-out", "", "write the telemetry dump as JSON to this path; implies -obs")
+	obsOn := flag.Bool("obs", false, "enable in-process telemetry collection")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address; implies -obs")
+	progress := flag.Duration("progress", 0, "log a progress line to stderr at this interval; implies -obs")
 	flag.Parse()
+
+	stopProgress, err := obs.Boot(*obsOn || *metricsOut != "", *debugAddr, *progress, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: obs: %v\n", err)
+		os.Exit(2)
+	}
 
 	var cfg gen.Config
 	switch *preset {
@@ -36,7 +48,8 @@ func main() {
 	}
 	cfg = cfg.Scaled(*scale)
 
-	tr, err := gen.Generate(cfg)
+	ctx, root := obs.StartSpan(context.Background(), "tracegen")
+	tr, err := gen.GenerateCtx(ctx, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		os.Exit(1)
@@ -58,6 +71,15 @@ func main() {
 	if err := f.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: close: %v\n", err)
 		os.Exit(1)
+	}
+	root.End()
+	stopProgress()
+	if *metricsOut != "" {
+		if err := obs.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
 	}
 	fmt.Printf("wrote %s: %d nodes, %d edges over %d days (delta %d → %d snapshots)\n",
 		path, tr.NumNodes(), tr.NumEdges(), cfg.Days,

@@ -1,10 +1,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"linkpred/internal/graph"
+	"linkpred/internal/obs"
 	"linkpred/internal/predict"
 )
 
@@ -63,6 +65,14 @@ type MissingLinkResult struct {
 
 // DetectMissing runs the hide-and-recover protocol for one algorithm.
 func DetectMissing(g *graph.Graph, alg predict.Algorithm, frac float64, opt predict.Options) (MissingLinkResult, error) {
+	return DetectMissingCtx(context.Background(), g, alg, frac, opt)
+}
+
+// DetectMissingCtx is DetectMissing with its phases (recover sweep,
+// negative scoring, AUC) emitted as obs spans parented by ctx.
+func DetectMissingCtx(ctx context.Context, g *graph.Graph, alg predict.Algorithm, frac float64, opt predict.Options) (MissingLinkResult, error) {
+	ctx, sp := obs.StartSpan(ctx, "missing/"+alg.Name())
+	defer sp.End()
 	reduced, hidden, err := HideEdges(g, frac, opt.Seed)
 	if err != nil {
 		return MissingLinkResult{}, err
@@ -72,8 +82,10 @@ func DetectMissing(g *graph.Graph, alg predict.Algorithm, frac float64, opt pred
 		truth[p.Key()] = true
 	}
 	k := len(hidden)
+	_, recoverSpan := obs.StartSpan(ctx, "recover")
 	pred := alg.Predict(reduced, k, opt)
 	recovered := predict.CountCorrect(pred, truth)
+	recoverSpan.End()
 
 	// AUC over hidden pairs vs sampled never-connected pairs.
 	rng := rand.New(rand.NewSource(opt.Seed ^ 0x315516))
@@ -88,11 +100,15 @@ func DetectMissing(g *graph.Graph, alg predict.Algorithm, frac float64, opt pred
 		negatives = append(negatives, predict.Pair{U: u, V: v})
 	}
 	pairs := append(append([]predict.Pair{}, hidden...), negatives...)
+	_, scoreSpan := obs.StartSpan(ctx, "score")
 	scores := alg.ScorePairs(reduced, pairs, opt)
+	scoreSpan.End()
 	labels := make([]bool, len(pairs))
 	for i := range hidden {
 		labels[i] = true
 	}
+	_, aucSpan := obs.StartSpan(ctx, "auc")
+	defer aucSpan.End()
 	return MissingLinkResult{
 		Hidden:    k,
 		Recovered: recovered,

@@ -6,12 +6,15 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
 	"linkpred/internal/classify"
 	"linkpred/internal/gen"
 	"linkpred/internal/graph"
+	"linkpred/internal/obs"
 	"linkpred/internal/predict"
 	"linkpred/internal/temporal"
 )
@@ -44,6 +47,22 @@ type Config struct {
 	Workers int
 	// Opt carries the algorithm parameters.
 	Opt predict.Options
+
+	// Ctx, when set, parents the obs spans the runners emit, so a full
+	// run's timing tree nests generation → scoring → evaluation under the
+	// caller's root span. It is carried in Config (rather than threaded as
+	// a parameter) so every experiment entry point keeps its signature;
+	// nil means context.Background() and, with obs disabled, spans cost
+	// nothing.
+	Ctx context.Context
+}
+
+// ctx resolves the span-parent context.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultConfig is the full-scale configuration used by the benchmark
@@ -119,10 +138,12 @@ func (n *Network) Tracker() *temporal.Tracker {
 // configured scale: Facebook, YouTube, Renren (the paper's tabulation
 // order).
 func LoadNetworks(c Config) []*Network {
+	ctx, sp := obs.StartSpan(c.ctx(), "generate")
+	defer sp.End()
 	var nets []*Network
 	for _, cfg := range gen.Presets(c.Seed) {
 		cfg = cfg.Scaled(c.Scale)
-		tr := gen.MustGenerate(cfg)
+		tr := gen.MustGenerateCtx(ctx, cfg)
 		delta := gen.DefaultDelta(cfg)
 		nets = append(nets, &Network{
 			Cfg:   cfg,
@@ -197,6 +218,8 @@ func (n *Network) MetricSweep(c Config) []SweepCell {
 }
 
 func (n *Network) runSweep(c Config, algs []predict.Algorithm) []SweepCell {
+	ctx, sweepSpan := obs.StartSpan(c.ctx(), "sweep/"+n.Cfg.Name)
+	defer sweepSpan.End()
 	// Materialize the transitions sequentially (cheap), then fan the
 	// (transition, algorithm) prediction tasks out over a worker pool.
 	// Every algorithm is deterministic for a fixed Options, so the result
@@ -258,7 +281,13 @@ func (n *Network) runSweep(c Config, algs []predict.Algorithm) []SweepCell {
 			t := trans[idx/len(algs)]
 			alg := algs[idx%len(algs)]
 			k := len(t.truth)
+			cellCtx, cellSpan := obs.StartSpan(ctx, fmt.Sprintf("cut%d/%s", t.cutIdx, alg.Name()))
+			defer cellSpan.End()
+			_, scoreSpan := obs.StartSpan(cellCtx, "score")
 			pred := alg.Predict(t.prev, k, taskOpt)
+			scoreSpan.End()
+			_, evalSpan := obs.StartSpan(cellCtx, "evaluate")
+			defer evalSpan.End()
 			correct := predict.CountCorrect(pred, t.truth)
 			cells[idx] = SweepCell{
 				Alg:       alg.Name(),

@@ -5,6 +5,7 @@ import (
 	"linkpred/internal/digraph"
 	"linkpred/internal/eval"
 	"linkpred/internal/ml"
+	"linkpred/internal/obs"
 	"linkpred/internal/predict"
 )
 
@@ -28,14 +29,17 @@ func MissingLinks(c Config, nets []*Network) ([]MissingRow, error) {
 	algs := []predict.Algorithm{predict.AA, predict.RA, predict.BRA, predict.KatzLR}
 	var rows []MissingRow
 	for _, n := range nets {
+		ctx, sp := obs.StartSpan(c.ctx(), "missing/"+n.Cfg.Name)
 		g := n.Trace.SnapshotAtEdge(n.Cuts[len(n.Cuts)-1].EdgeCount)
 		for _, alg := range algs {
-			res, err := eval.DetectMissing(g, alg, 0.1, c.Opt)
+			res, err := eval.DetectMissingCtx(ctx, g, alg, 0.1, c.Opt)
 			if err != nil {
+				sp.End()
 				return nil, err
 			}
 			rows = append(rows, MissingRow{Network: n.Cfg.Name, Alg: alg.Name(), MissingLinkResult: res})
 		}
+		sp.End()
 	}
 	return rows, nil
 }

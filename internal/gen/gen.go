@@ -16,12 +16,14 @@
 package gen
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
 	"linkpred/internal/graph"
+	"linkpred/internal/obs"
 )
 
 // Config parameterizes the dynamic-network model. The zero value is not
@@ -170,6 +172,14 @@ func pairKey(u, v graph.NodeID) uint64 {
 
 // Generate runs the model and returns a validated trace.
 func Generate(cfg Config) (*graph.Trace, error) {
+	return GenerateCtx(context.Background(), cfg)
+}
+
+// GenerateCtx is Generate with an obs span parented by ctx, so trace
+// synthesis shows up as the "generation" stage of a run's timing tree.
+func GenerateCtx(ctx context.Context, cfg Config) (*graph.Trace, error) {
+	_, sp := obs.StartSpan(ctx, "gen/"+cfg.Name)
+	defer sp.End()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -184,13 +194,22 @@ func Generate(cfg Config) (*graph.Trace, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("gen: generated invalid trace: %w", err)
 	}
+	if obs.Enabled() {
+		obs.GetCounter("gen/nodes_generated").Add(int64(tr.NumNodes()))
+		obs.GetCounter("gen/edges_generated").Add(int64(tr.NumEdges()))
+	}
 	return tr, nil
 }
 
 // MustGenerate is Generate that panics on error; presets are known valid, so
 // examples and benchmarks use it freely.
 func MustGenerate(cfg Config) *graph.Trace {
-	tr, err := Generate(cfg)
+	return MustGenerateCtx(context.Background(), cfg)
+}
+
+// MustGenerateCtx is GenerateCtx that panics on error.
+func MustGenerateCtx(ctx context.Context, cfg Config) *graph.Trace {
+	tr, err := GenerateCtx(ctx, cfg)
 	if err != nil {
 		panic(err)
 	}

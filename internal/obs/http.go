@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler returns an expvar-style HTTP handler serving the current
+// telemetry Dump as JSON.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar registers the telemetry Dump as the expvar variable
+// "linkpred", making it visible on any /debug/vars endpoint. Safe to call
+// more than once.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("linkpred", expvar.Func(func() any { return Snapshot() }))
+	})
+}
+
+// ServeDebug starts an HTTP server on addr exposing the opt-in runtime
+// surfaces: /metrics (JSON telemetry dump), /debug/vars (expvar, including
+// the published Dump), and /debug/pprof/* (CPU, heap, goroutine, trace
+// profiling). It returns after the listener is bound; the server runs until
+// the process exits or the returned server is shut down.
+func ServeDebug(addr string) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	go srv.Serve(ln)
+	return srv, nil
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one node of the hierarchical timing tree. Spans are created with
+// StartSpan, propagate through context, and are closed with End. All
+// methods are safe on a nil receiver (StartSpan returns nil when telemetry
+// is disabled), so instrumented code never branches on the enabled flag.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	durNs    int64 // 0 while open; >= 1 once ended
+	children []*Span
+}
+
+// spanKey carries the active parent span in a context.
+type spanKey struct{}
+
+const (
+	// maxRoots and maxChildren bound the recorded tree so a pathological
+	// loop cannot grow memory without bound; overflow is counted in
+	// obs/spans_dropped instead of silently ignored.
+	maxRoots    = 1024
+	maxChildren = 4096
+)
+
+var (
+	rootsMu sync.Mutex
+	roots   []*Span
+
+	spansStarted atomic.Int64
+)
+
+// StartSpan begins a span named name as a child of the span carried by ctx
+// (or as a new root) and returns a derived context carrying it. When
+// telemetry is disabled it returns (ctx, nil) and records nothing.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if !Enabled() {
+		return ctx, nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	spansStarted.Add(1)
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		parent.addChild(s)
+	} else {
+		addRoot(s)
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// End closes the span, fixing its duration (clamped to >= 1ns so "ended"
+// is distinguishable from "open"). Ending twice keeps the first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.durNs == 0 {
+		d := time.Since(s.start).Nanoseconds()
+		if d < 1 {
+			d = 1
+		}
+		s.durNs = d
+	}
+	s.mu.Unlock()
+}
+
+// Name returns the span's name (empty for nil spans).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+func (s *Span) addChild(c *Span) {
+	s.mu.Lock()
+	if len(s.children) < maxChildren {
+		s.children = append(s.children, c)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	GetCounter("obs/spans_dropped").Inc()
+}
+
+func addRoot(s *Span) {
+	rootsMu.Lock()
+	if len(roots) < maxRoots {
+		roots = append(roots, s)
+		rootsMu.Unlock()
+		return
+	}
+	rootsMu.Unlock()
+	GetCounter("obs/spans_dropped").Inc()
+}
+
+func resetSpans() {
+	rootsMu.Lock()
+	roots = nil
+	rootsMu.Unlock()
+	spansStarted.Store(0)
+}
+
+// SpansStarted returns the number of spans created since the last Reset
+// (including dropped ones), used by progress logging.
+func SpansStarted() int64 { return spansStarted.Load() }
+
+// SpanSnapshot is the JSON form of a span subtree.
+type SpanSnapshot struct {
+	Name  string `json:"name"`
+	Start string `json:"start"`
+	// DurNs is the span's wall-clock duration; open spans report the
+	// elapsed time so far with Open=true.
+	DurNs    int64          `json:"dur_ns"`
+	Open     bool           `json:"open,omitempty"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	dur, open := s.durNs, false
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	if dur == 0 {
+		dur, open = time.Since(s.start).Nanoseconds(), true
+	}
+	snap := SpanSnapshot{
+		Name:  s.name,
+		Start: s.start.UTC().Format(time.RFC3339Nano),
+		DurNs: dur,
+		Open:  open,
+	}
+	for _, c := range kids {
+		snap.Children = append(snap.Children, c.snapshot())
+	}
+	return snap
+}
+
+func snapshotRoots() []SpanSnapshot {
+	rootsMu.Lock()
+	rs := make([]*Span, len(roots))
+	copy(rs, roots)
+	rootsMu.Unlock()
+	var out []SpanSnapshot
+	for _, r := range rs {
+		out = append(out, r.snapshot())
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	withObs(t, func() {
+		ctx, root := StartSpan(context.Background(), "run")
+		sctx, child := StartSpan(ctx, "sweep")
+		_, leaf := StartSpan(sctx, "predict")
+		leaf.End()
+		child.End()
+		// Sibling of "sweep" under the root.
+		_, sib := StartSpan(ctx, "evaluate")
+		sib.End()
+		root.End()
+
+		d := Snapshot()
+		if len(d.Spans) != 1 {
+			t.Fatalf("got %d roots, want 1", len(d.Spans))
+		}
+		r := d.Spans[0]
+		if r.Name != "run" || r.Open || r.DurNs <= 0 {
+			t.Fatalf("root = %+v", r)
+		}
+		if len(r.Children) != 2 || r.Children[0].Name != "sweep" || r.Children[1].Name != "evaluate" {
+			t.Fatalf("root children = %+v", r.Children)
+		}
+		sw := r.Children[0]
+		if len(sw.Children) != 1 || sw.Children[0].Name != "predict" {
+			t.Fatalf("sweep children = %+v", sw.Children)
+		}
+		if sw.Children[0].DurNs > sw.DurNs || sw.DurNs > r.DurNs {
+			t.Fatalf("child durations exceed parents: %+v", r)
+		}
+	})
+}
+
+func TestSpanOpenInSnapshot(t *testing.T) {
+	withObs(t, func() {
+		_, sp := StartSpan(context.Background(), "open")
+		d := Snapshot()
+		if len(d.Spans) != 1 || !d.Spans[0].Open || d.Spans[0].DurNs <= 0 {
+			t.Fatalf("open span snapshot = %+v", d.Spans)
+		}
+		sp.End()
+		sp.End() // double End keeps first duration
+		d2 := Snapshot()
+		if d2.Spans[0].Open {
+			t.Fatal("ended span still open")
+		}
+	})
+}
+
+func TestSpanDisabledIsNoop(t *testing.T) {
+	Reset()
+	Enable(false)
+	defer Reset()
+	ctx, sp := StartSpan(context.Background(), "nope")
+	if sp != nil {
+		t.Fatal("disabled StartSpan returned a span")
+	}
+	sp.End() // nil-safe
+	if sp.Name() != "" {
+		t.Fatal("nil span has a name")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("disabled StartSpan attached a span to the context")
+	}
+	if d := Snapshot(); len(d.Spans) != 0 {
+		t.Fatalf("disabled run recorded spans: %+v", d.Spans)
+	}
+}
+
+// TestSpanConcurrentChildren exercises concurrent child creation under one
+// parent; run with -race in CI.
+func TestSpanConcurrentChildren(t *testing.T) {
+	withObs(t, func() {
+		ctx, root := StartSpan(context.Background(), "root")
+		const workers, perWorker = 8, 50
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					cctx, c := StartSpan(ctx, fmt.Sprintf("w%d/%d", w, i))
+					_, g := StartSpan(cctx, "inner")
+					g.End()
+					c.End()
+				}
+			}(w)
+		}
+		wg.Wait()
+		root.End()
+		d := Snapshot()
+		if got := len(d.Spans[0].Children); got != workers*perWorker {
+			t.Fatalf("got %d children, want %d", got, workers*perWorker)
+		}
+		for _, c := range d.Spans[0].Children {
+			if len(c.Children) != 1 || c.Children[0].Name != "inner" {
+				t.Fatalf("child %q lost its inner span", c.Name)
+			}
+		}
+	})
+}
+
+func TestSpanChildCapDropsAndCounts(t *testing.T) {
+	withObs(t, func() {
+		ctx, root := StartSpan(context.Background(), "root")
+		for i := 0; i < maxChildren+10; i++ {
+			_, c := StartSpan(ctx, "c")
+			c.End()
+		}
+		root.End()
+		d := Snapshot()
+		if got := len(d.Spans[0].Children); got != maxChildren {
+			t.Fatalf("got %d children, want cap %d", got, maxChildren)
+		}
+		if d.Counters["obs/spans_dropped"] != 10 {
+			t.Fatalf("spans_dropped = %d, want 10", d.Counters["obs/spans_dropped"])
+		}
+	})
+}

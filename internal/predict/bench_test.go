@@ -7,6 +7,7 @@ import (
 
 	"linkpred/internal/gen"
 	"linkpred/internal/graph"
+	"linkpred/internal/obs"
 )
 
 // benchGraph is a mid-size Renren-like snapshot shared by the package
@@ -72,6 +73,34 @@ func BenchmarkPredictParallel(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkPredictTelemetry quantifies the telemetry tax on the hottest
+// path: CN.Predict with collection disabled (the default; the off/disabled
+// delta is the <2% overhead budget DESIGN.md §6 commits to) and enabled.
+func BenchmarkPredictTelemetry(b *testing.B) {
+	g, _ := benchGraph(b)
+	opt := DefaultOptions()
+	opt.Workers = 4
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"disabled", false}, {"enabled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			obs.Reset()
+			obs.Enable(mode.enabled)
+			defer func() {
+				obs.Enable(false)
+				obs.Reset()
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(CN.Predict(g, 200, opt)) == 0 {
+					b.Fatal("no predictions")
+				}
+			}
+		})
 	}
 }
 

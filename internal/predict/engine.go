@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"linkpred/internal/graph"
+	"linkpred/internal/obs"
 )
 
 // This file is the shared parallel scoring engine. Every algorithm routes
@@ -58,27 +59,41 @@ func shardRange(n, workers int, body func(worker, lo, hi int)) {
 	}
 	chunks := workers * chunksPerWorker
 	size := (n + chunks - 1) / chunks
+	// track is resolved once per fan-out: per-chunk accounting stays in a
+	// goroutine-local counter and flushes to obs after the worker drains,
+	// so the claim loop itself carries no telemetry cost.
+	track := obs.Enabled()
 	var next int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			claimed := int64(0)
 			for {
 				c := int(atomic.AddInt64(&next, 1)) - 1
 				lo := c * size
 				if lo >= n {
-					return
+					break
 				}
 				hi := lo + size
 				if hi > n {
 					hi = n
 				}
 				body(w, lo, hi)
+				claimed++
+			}
+			if track && claimed > 0 {
+				obs.AddWorkerChunks(w, claimed)
+				obs.GetCounter("engine/chunks_claimed").Add(claimed)
+				obs.GetHistogram("engine/chunks_per_worker").Observe(claimed)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if track {
+		obs.GetCounter("engine/shard_fanouts").Inc()
+	}
 }
 
 // mergeTopK folds per-worker selections into one selector. Entries carry
@@ -159,9 +174,10 @@ func twoHopParts(g *graph.Graph, k int, opt Options, visit func(u, v graph.NodeI
 	stamps := make([][]int32, workers)
 	shardRange(n, workers, func(w, lo, hi int) {
 		if parts[w] == nil {
-			parts[w] = newTopK(k, opt.Seed)
+			parts[w] = newTopKRec(k, opt)
 			stamps[w] = newStamp(n)
 		}
+		opt.rec.addNodes(int64(hi - lo))
 		top := parts[w]
 		twoHopRange(g, lo, hi, stamps[w], func(u, v graph.NodeID) { visit(u, v, top) })
 	})

@@ -135,7 +135,7 @@ func predictGlobal(g *graph.Graph, k int, opt Options, score func(u, v graph.Nod
 	blockParts := make([]*topK, workers)
 	shardRange(n, workers, func(wk, lo, hi int) {
 		if blockParts[wk] == nil {
-			blockParts[wk] = newTopK(k, opt.Seed)
+			blockParts[wk] = newTopKRec(k, opt)
 		}
 		top := blockParts[wk]
 		for v := lo; v < hi; v++ {
@@ -149,7 +149,7 @@ func predictGlobal(g *graph.Graph, k int, opt Options, score func(u, v graph.Nod
 	})
 
 	// Phase 3: serial random distant pairs.
-	rest := newTopK(k, opt.Seed)
+	rest := newTopKRec(k, opt)
 	randomCandidates(g, opt, inBlock, func(u, v graph.NodeID) {
 		rest.Add(u, v, score(u, v))
 	})

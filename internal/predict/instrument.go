@@ -1,0 +1,74 @@
+package predict
+
+import (
+	"sync/atomic"
+	"time"
+
+	"linkpred/internal/obs"
+)
+
+// This file is the telemetry shim between the scoring engine and
+// internal/obs. Each Predict/ScorePairs entry point opens an obsRun; the
+// engine helpers and the bounded top-k feed it while the call runs, and
+// end() flushes the totals into the global obs registry under the
+// algorithm's name. When telemetry is disabled beginRun returns nil and
+// every hook below degrades to a nil-pointer check, so the engine's hot
+// paths carry no measurable overhead (see BenchmarkPredictTelemetry).
+// Recording never influences scores, candidate order, or tie-breaking, so
+// the engine's bit-identical deterministic output is preserved with
+// telemetry on (TestTelemetryPreservesDeterminism).
+
+// The two instrumented Algorithm operations.
+const (
+	opPredict    = "predict"
+	opScorePairs = "score_pairs"
+)
+
+// obsRun accumulates one instrumented algorithm call. Workers of the same
+// call share it, so the fields are atomics.
+type obsRun struct {
+	alg   string
+	op    string
+	start time.Time
+	pairs atomic.Int64 // candidates offered to the top-k / pairs batch-scored
+	nodes atomic.Int64 // source nodes swept
+	evict atomic.Int64 // full-heap replacements in the per-worker top-ks
+}
+
+// beginRun opens a run recorder, or returns nil when telemetry is off. All
+// obsRun methods are nil-safe.
+func beginRun(alg, op string) *obsRun {
+	if !obs.Enabled() {
+		return nil
+	}
+	return &obsRun{alg: alg, op: op, start: time.Now()}
+}
+
+func (r *obsRun) addPairs(n int64) {
+	if r != nil {
+		r.pairs.Add(n)
+	}
+}
+
+func (r *obsRun) addNodes(n int64) {
+	if r != nil {
+		r.nodes.Add(n)
+	}
+}
+
+// end flushes the run into the registry: a latency histogram per
+// (algorithm, operation) and the standard per-algorithm counters.
+func (r *obsRun) end() {
+	if r == nil {
+		return
+	}
+	prefix := "predict/" + r.alg
+	obs.GetHistogram(prefix + "/" + r.op + "_ns").Observe(time.Since(r.start).Nanoseconds())
+	obs.GetCounter(prefix + "/pairs_scored").Add(r.pairs.Load())
+	if n := r.nodes.Load(); n != 0 {
+		obs.GetCounter(prefix + "/nodes_swept").Add(n)
+	}
+	if n := r.evict.Load(); n != 0 {
+		obs.GetCounter(prefix + "/topk_evictions").Add(n)
+	}
+}

@@ -54,6 +54,9 @@ func katzFactors(g *graph.Graph, opt Options) (scaled, raw *linalg.Dense) {
 
 func (katzLR) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
+	r := beginRun("Katz", opPredict)
+	defer r.end()
+	opt.rec = r
 	// The factors build once (serial eigensolve) and are read-only across
 	// the scoring workers.
 	scaled, raw := katzFactors(g, opt)
@@ -63,6 +66,9 @@ func (katzLR) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (katzLR) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	r := beginRun("Katz", opScorePairs)
+	defer r.end()
+	r.addPairs(int64(len(pairs)))
 	scaled, raw := katzFactors(g, opt)
 	out := make([]float64, len(pairs))
 	shardRange(len(pairs), workerCount(opt), func(_, lo, hi int) {
@@ -183,6 +189,9 @@ func pickLandmarks(g *graph.Graph, L int, seed int64) []graph.NodeID {
 
 func (katzSC) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
+	r := beginRun("KatzSC", opPredict)
+	defer r.end()
+	opt.rec = r
 	p, c := katzSCFactors(g, opt)
 	return predictGlobal(g, k, opt, func(u, v graph.NodeID) float64 {
 		return linalg.Dot(p.Row(int(u)), c.Row(int(v)))
@@ -190,6 +199,9 @@ func (katzSC) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (katzSC) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	r := beginRun("KatzSC", opScorePairs)
+	defer r.end()
+	r.addPairs(int64(len(pairs)))
 	p, c := katzSCFactors(g, opt)
 	out := make([]float64, len(pairs))
 	shardRange(len(pairs), workerCount(opt), func(_, lo, hi int) {

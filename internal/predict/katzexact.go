@@ -56,6 +56,9 @@ func katzLen(opt Options) int {
 
 func (katzExactT) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
+	r := beginRun("KatzExact", opPredict)
+	defer r.end()
+	opt.rec = r
 	n := g.NumNodes()
 	maxLen := katzLen(opt)
 	workers := workerCount(opt)
@@ -63,9 +66,10 @@ func (katzExactT) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	scratch := make([]*katzScratch, workers)
 	shardRange(n, workers, func(wk, lo, hi int) {
 		if parts[wk] == nil {
-			parts[wk] = newTopK(k, opt.Seed)
+			parts[wk] = newTopKRec(k, opt)
 			scratch[wk] = newKatzScratch(n)
 		}
+		opt.rec.addNodes(int64(hi - lo))
 		top, s := parts[wk], scratch[wk]
 		for u := lo; u < hi; u++ {
 			uid := graph.NodeID(u)
@@ -85,6 +89,9 @@ func (katzExactT) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (katzExactT) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	r := beginRun("KatzExact", opScorePairs)
+	defer r.end()
+	r.addPairs(int64(len(pairs)))
 	n := g.NumNodes()
 	out := make([]float64, len(pairs))
 	idx := sourceSortedIndex(pairs, func(p Pair) graph.NodeID { return p.U })

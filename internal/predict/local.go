@@ -23,6 +23,9 @@ func (m *localMetric) Name() string { return m.name }
 
 func (m *localMetric) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
+	r := beginRun(m.name, opPredict)
+	defer r.end()
+	opt.rec = r
 	// The naive Bayes statistics are built once, before the fan-out, and are
 	// read-only across workers.
 	var nb *naiveBayes
@@ -36,6 +39,9 @@ func (m *localMetric) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (m *localMetric) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	r := beginRun(m.name, opScorePairs)
+	defer r.end()
+	r.addPairs(int64(len(pairs)))
 	var nb *naiveBayes
 	if m.usesNB {
 		nb = newNaiveBayes(g, workerCount(opt))

@@ -21,6 +21,9 @@ var PA Algorithm = paAlgorithm{}
 func (paAlgorithm) Name() string { return "PA" }
 
 func (paAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	r := beginRun("PA", opScorePairs)
+	defer r.end()
+	r.addPairs(int64(len(pairs)))
 	out := make([]float64, len(pairs))
 	shardRange(len(pairs), workerCount(opt), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -80,6 +83,9 @@ func (f *paFrontier) pop() paItem {
 
 func (paAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
+	r := beginRun("PA", opPredict)
+	defer r.end()
+	opt.rec = r
 	n := g.NumNodes()
 	if n < 2 || k <= 0 {
 		return nil
@@ -98,7 +104,7 @@ func (paAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	})
 	deg := func(i int32) int64 { return int64(g.Degree(order[i])) }
 
-	top := newTopK(k, opt.Seed)
+	top := newTopKRec(k, opt)
 	var frontier paFrontier
 	frontier.push(paItem{i: 0, j: 1, product: deg(0) * deg(1)})
 	visited := map[uint64]bool{PairKey(0, 1): true}

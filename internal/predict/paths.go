@@ -19,6 +19,9 @@ func (spAlgorithm) Name() string { return "SP" }
 
 func (spAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
+	r := beginRun("SP", opPredict)
+	defer r.end()
+	opt.rec = r
 	// Distance-2 pairs dominate; they are cheap to enumerate exactly.
 	var count int64
 	parts := twoHopParts(g, k, opt, func(u, v graph.NodeID, top *topK) {
@@ -43,9 +46,10 @@ func (spAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	queues := make([][]graph.NodeID, workers)
 	shardRange(n, workers, func(wk, lo, hi int) {
 		if bfsParts[wk] == nil {
-			bfsParts[wk] = newTopK(k, opt.Seed)
+			bfsParts[wk] = newTopKRec(k, opt)
 			dists[wk] = make([]int32, n)
 		}
+		opt.rec.addNodes(int64(hi - lo))
 		top, dist, queue := bfsParts[wk], dists[wk], queues[wk]
 		for u := lo; u < hi; u++ {
 			uid := graph.NodeID(u)
@@ -79,6 +83,9 @@ func (spAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (spAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	r := beginRun("SP", opScorePairs)
+	defer r.end()
+	r.addPairs(int64(len(pairs)))
 	maxDepth := int32(opt.SPMaxDepth)
 	if maxDepth <= 0 {
 		maxDepth = 6
@@ -168,15 +175,19 @@ func lpCounts(g *graph.Graph, u graph.NodeID, s *lpScratch) {
 
 func (lpAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
+	r := beginRun("LP", opPredict)
+	defer r.end()
+	opt.rec = r
 	n := g.NumNodes()
 	workers := workerCount(opt)
 	parts := make([]*topK, workers)
 	scratch := make([]*lpScratch, workers)
 	shardRange(n, workers, func(wk, lo, hi int) {
 		if parts[wk] == nil {
-			parts[wk] = newTopK(k, opt.Seed)
+			parts[wk] = newTopKRec(k, opt)
 			scratch[wk] = newLPScratch(n)
 		}
+		opt.rec.addNodes(int64(hi - lo))
 		top, s := parts[wk], scratch[wk]
 		for u := lo; u < hi; u++ {
 			uid := graph.NodeID(u)
@@ -205,6 +216,9 @@ func (lpAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (lpAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	r := beginRun("LP", opScorePairs)
+	defer r.end()
+	r.addPairs(int64(len(pairs)))
 	eps := opt.LPEpsilon
 	out := make([]float64, len(pairs))
 	idx := sourceSortedIndex(pairs, func(p Pair) graph.NodeID { return p.U })

@@ -94,6 +94,12 @@ type Options struct {
 	// RandomCandidates is the number of uniform random unconnected pairs
 	// added to the global candidate set.
 	RandomCandidates int
+
+	// rec collects telemetry for the current call. Each algorithm entry
+	// point attaches it on its local Options copy via beginRun; nil (the
+	// zero value, and always when obs is disabled) makes every hook a
+	// no-op. Never set by callers.
+	rec *obsRun
 }
 
 // DefaultOptions returns the paper's tuned parameter settings.
@@ -148,10 +154,22 @@ type topK struct {
 	seed  int64
 	pairs []Pair
 	ties  []uint64
+	// rec, when non-nil, receives pair-offered and eviction counts; it is
+	// attached only to the sweep-level selectors (newTopKRec), never to
+	// merge targets, so merged entries are not double counted.
+	rec *obsRun
 }
 
 func newTopK(k int, seed int64) *topK {
 	return &topK{k: k, seed: seed, pairs: make([]Pair, 0, k), ties: make([]uint64, 0, k)}
+}
+
+// newTopKRec is newTopK with the current call's telemetry recorder
+// attached; the sharded sweeps use it for their per-worker selectors.
+func newTopKRec(k int, opt Options) *topK {
+	t := newTopK(k, opt.Seed)
+	t.rec = opt.rec
+	return t
 }
 
 // less reports whether entry i ranks below entry j (worse score first).
@@ -199,6 +217,9 @@ func (t *topK) siftDown(i int) {
 
 // Add offers a candidate; returns quickly when it cannot enter the top k.
 func (t *topK) Add(u, v graph.NodeID, score float64) {
+	if t.rec != nil {
+		t.rec.pairs.Add(1)
+	}
 	t.add(Pair{U: minID(u, v), V: maxID(u, v), Score: score}, tieHash(t.seed, u, v))
 }
 
@@ -213,6 +234,9 @@ func (t *topK) add(p Pair, tie uint64) {
 		worst := t.pairs[0]
 		if p.Score < worst.Score || (p.Score == worst.Score && tie <= t.ties[0]) {
 			return
+		}
+		if t.rec != nil {
+			t.rec.evict.Add(1)
 		}
 		t.pairs[0] = p
 		t.ties[0] = tie

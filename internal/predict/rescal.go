@@ -97,6 +97,9 @@ func rescalScore(xr, x *linalg.Dense, u, v graph.NodeID) float64 {
 
 func (rescalAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
+	r := beginRun("Rescal", opPredict)
+	defer r.end()
+	opt.rec = r
 	// ALS runs once (serial); the factors are read-only across workers.
 	xr, x := rescalFactors(g, opt)
 	return predictGlobal(g, k, opt, func(u, v graph.NodeID) float64 {
@@ -105,6 +108,9 @@ func (rescalAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (rescalAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	r := beginRun("Rescal", opScorePairs)
+	defer r.end()
+	r.addPairs(int64(len(pairs)))
 	xr, x := rescalFactors(g, opt)
 	out := make([]float64, len(pairs))
 	shardRange(len(pairs), workerCount(opt), func(_, lo, hi int) {

@@ -53,6 +53,9 @@ func lrwDistribution(g *graph.Graph, u graph.NodeID, m int, s *walkScratch) *spa
 
 func (lrwAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
+	r := beginRun("LRW", opPredict)
+	defer r.end()
+	opt.rec = r
 	n := g.NumNodes()
 	edges := float64(g.NumEdges())
 	if edges == 0 {
@@ -64,9 +67,10 @@ func (lrwAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	scratch := make([]*walkScratch, workers)
 	shardRange(n, workers, func(wk, lo, hi int) {
 		if parts[wk] == nil {
-			parts[wk] = newTopK(k, opt.Seed)
+			parts[wk] = newTopKRec(k, opt)
 			scratch[wk] = newWalkScratch(n)
 		}
+		opt.rec.addNodes(int64(hi - lo))
 		top, s := parts[wk], scratch[wk]
 		for u := lo; u < hi; u++ {
 			uid := graph.NodeID(u)
@@ -87,6 +91,9 @@ func (lrwAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (lrwAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	r := beginRun("LRW", opScorePairs)
+	defer r.end()
+	r.addPairs(int64(len(pairs)))
 	n := g.NumNodes()
 	edges := float64(g.NumEdges())
 	m := steps(opt)
@@ -188,6 +195,9 @@ func pprPush(g *graph.Graph, u graph.NodeID, alpha, eps float64, s *pprScratch) 
 
 func (pprAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
+	r := beginRun("PPR", opPredict)
+	defer r.end()
+	opt.rec = r
 	n := g.NumNodes()
 	type hit struct {
 		v graph.NodeID
@@ -203,6 +213,7 @@ func (pprAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 			accs[wk] = make(map[uint64]float64)
 			hitBufs[wk] = make([]hit, 0, 1024)
 		}
+		opt.rec.addNodes(int64(hi - lo))
 		s, acc := scratch[wk], accs[wk]
 		for u := lo; u < hi; u++ {
 			uid := graph.NodeID(u)
@@ -243,7 +254,7 @@ func (pprAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 			acc[key] += s
 		}
 	}
-	top := newTopK(k, opt.Seed)
+	top := newTopKRec(k, opt)
 	for key, s := range acc {
 		u, v := KeyPair(key)
 		top.Add(u, v, s)
@@ -252,6 +263,9 @@ func (pprAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (pprAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	r := beginRun("PPR", opScorePairs)
+	defer r.end()
+	r.addPairs(int64(len(pairs)))
 	n := g.NumNodes()
 	out := make([]float64, len(pairs))
 	workers := workerCount(opt)
