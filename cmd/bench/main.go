@@ -8,12 +8,14 @@
 //
 //	bench                         # renren @ 0.2, GOMAXPROCS workers
 //	bench -preset youtube -scale 0.1 -workers 8 -out BENCH_predict.json
+//	bench -compare old.json       # measure, then diff against a previous file
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"runtime"
@@ -71,6 +73,62 @@ func gitSHA() string {
 	return ""
 }
 
+// loadOutput reads a previously written BENCH_predict.json.
+func loadOutput(path string) (*output, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var o output
+	if err := json.Unmarshal(data, &o); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &o, nil
+}
+
+// compareOutputs diffs two benchmark files row by row on the
+// (algorithm, workers) key and prints per-algorithm speedup (old/new > 1)
+// or regression (< 1). Rows present in only one file are listed as such.
+// It returns the number of regressions beyond the noise threshold.
+func compareOutputs(w io.Writer, old, cur *output, threshold float64) int {
+	type cell struct {
+		alg     string
+		workers int
+	}
+	prev := make(map[cell]int64, len(old.Results))
+	for _, r := range old.Results {
+		prev[cell{r.Algorithm, r.Workers}] = r.NsPerOp
+	}
+	if old.Preset != cur.Preset || old.Scale != cur.Scale || old.GOMAXPROCS != cur.GOMAXPROCS {
+		fmt.Fprintf(w, "note: configs differ (old %s@%g procs=%d, new %s@%g procs=%d); ratios are cross-config\n",
+			old.Preset, old.Scale, old.GOMAXPROCS, cur.Preset, cur.Scale, cur.GOMAXPROCS)
+	}
+	regressions := 0
+	fmt.Fprintf(w, "%-10s %-9s %14s %14s %9s\n", "algorithm", "workers", "old ns/op", "new ns/op", "old/new")
+	for _, r := range cur.Results {
+		oldNs, ok := prev[cell{r.Algorithm, r.Workers}]
+		if !ok {
+			fmt.Fprintf(w, "%-10s workers=%-2d %14s %14d %9s\n", r.Algorithm, r.Workers, "-", r.NsPerOp, "new")
+			continue
+		}
+		delete(prev, cell{r.Algorithm, r.Workers})
+		ratio := 0.0
+		if r.NsPerOp > 0 {
+			ratio = float64(oldNs) / float64(r.NsPerOp)
+		}
+		tag := ""
+		if ratio < threshold {
+			tag = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-10s workers=%-2d %14d %14d %8.2fx%s\n", r.Algorithm, r.Workers, oldNs, r.NsPerOp, ratio, tag)
+	}
+	for c := range prev {
+		fmt.Fprintf(w, "%-10s workers=%-2d only in old file\n", c.alg, c.workers)
+	}
+	return regressions
+}
+
 func preset(name string, seed int64) (gen.Config, error) {
 	switch name {
 	case "facebook":
@@ -106,6 +164,7 @@ func main() {
 	out := flag.String("out", "BENCH_predict.json", "output path")
 	mintime := flag.Duration("mintime", 2*time.Second, "minimum sampling time per (algorithm, workers) cell")
 	maxIters := flag.Int("maxiters", 50, "iteration cap per cell")
+	compare := flag.String("compare", "", "previous BENCH_predict.json to diff the fresh results against")
 	obsOn := flag.Bool("obs", false, "collect telemetry and embed the dump in the output JSON")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while benchmarking; implies -obs")
 	progress := flag.Duration("progress", 0, "log a progress line to stderr at this interval; implies -obs")
@@ -192,4 +251,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *compare != "" {
+		old, err := loadOutput(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: -compare: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("\ncomparing against %s (%s)\n", *compare, old.Timestamp.Format(time.RFC3339))
+		if n := compareOutputs(os.Stdout, old, &o, 0.95); n > 0 {
+			fmt.Printf("%d regression(s) beyond 5%%\n", n)
+		}
+	}
 }

@@ -10,6 +10,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -138,7 +139,7 @@ func Build(n int, edges []Edge) *Graph {
 	}
 	for u := range g.adj {
 		a := g.adj[u]
-		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		slices.Sort(a)
 		// Deduplicate in place.
 		w := 0
 		for i := range a {
@@ -158,14 +159,20 @@ func Build(n int, edges []Edge) *Graph {
 // remapped densely in the order given. The second return value maps new IDs
 // back to original IDs.
 func (g *Graph) Subgraph(nodes []NodeID) (*Graph, []NodeID) {
-	remap := make(map[NodeID]NodeID, len(nodes))
+	// IDs are dense by construction, so the remap is a flat slice indexed by
+	// original ID (-1 = not selected) — no hashing on the extraction path,
+	// which snowball sampling hits once per evaluation seed.
+	remap := make([]NodeID, len(g.adj))
+	for i := range remap {
+		remap[i] = -1
+	}
 	for i, v := range nodes {
 		remap[v] = NodeID(i)
 	}
 	var edges []Edge
 	for i, v := range nodes {
 		for _, w := range g.adj[v] {
-			if j, ok := remap[w]; ok && NodeID(i) < j {
+			if j := remap[w]; j >= 0 && NodeID(i) < j {
 				edges = append(edges, Edge{U: NodeID(i), V: j, Time: g.Time})
 			}
 		}

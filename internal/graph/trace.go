@@ -2,11 +2,13 @@ package graph
 
 import (
 	"bufio"
+	"cmp"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -134,7 +136,7 @@ func (t *Trace) NewEdgesBetween(a, b SnapshotCut) []Edge {
 func (t *Trace) Sort() *Trace {
 	edges := make([]Edge, len(t.Edges))
 	copy(edges, t.Edges)
-	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Time < edges[j].Time })
+	slices.SortStableFunc(edges, func(a, b Edge) int { return cmp.Compare(a.Time, b.Time) })
 
 	// First-touch remap: a node's arrival is its declared arrival if known,
 	// otherwise the time of its first edge.

@@ -35,6 +35,7 @@ func BenchmarkPredictScorePairs(b *testing.B) {
 	opt := DefaultOptions()
 	for _, alg := range All() {
 		b.Run(alg.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				scores := alg.ScorePairs(g, pairs, opt)
 				if len(scores) != len(pairs) {
@@ -66,6 +67,7 @@ func BenchmarkPredictParallel(b *testing.B) {
 			opt := DefaultOptions()
 			opt.Workers = w
 			b.Run(fmt.Sprintf("%s/workers=%d", alg.Name(), w), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if len(alg.Predict(g, k, opt)) == 0 {
 						b.Fatal("no predictions")
@@ -107,6 +109,7 @@ func BenchmarkPredictTelemetry(b *testing.B) {
 // BenchmarkTwoHopEnumeration measures the candidate sweep itself.
 func BenchmarkTwoHopEnumeration(b *testing.B) {
 	g, _ := benchGraph(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		count := 0
@@ -119,6 +122,7 @@ func BenchmarkTwoHopEnumeration(b *testing.B) {
 
 // BenchmarkTopKSelection measures the bounded heap under heavy churn.
 func BenchmarkTopKSelection(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		top := newTopK(500, 1)
 		for v := graph.NodeID(1); v < 100000; v++ {

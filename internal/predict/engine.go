@@ -1,8 +1,9 @@
 package predict
 
 import (
+	"cmp"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -189,6 +190,70 @@ func predictTwoHop(g *graph.Graph, k int, opt Options, visit func(u, v graph.Nod
 	return mergeTopK(k, opt.Seed, twoHopParts(g, k, opt, visit)).Result()
 }
 
+// predictFusedTwoHop is the kernel fast path of predictTwoHop: identical
+// sharding, candidate set, telemetry (nodes_swept, and pairs_scored via the
+// per-worker selectors), and merge contract, but scoring accumulates inside
+// the wedge sweep through kern instead of intersecting adjacency lists per
+// pair. The visit-callback path above stays as the reference implementation
+// the fused kernels are property-tested against (TestFusedKernels*).
+func predictFusedTwoHop(g *graph.Graph, k int, opt Options, kern sweepKernel) []Pair {
+	n := g.NumNodes()
+	workers := workerCount(opt)
+	parts := make([]*topK, workers)
+	scratch := make([]*sweepScratch, workers)
+	shardRange(n, workers, func(w, lo, hi int) {
+		if parts[w] == nil {
+			parts[w] = newTopKRec(k, opt)
+			scratch[w] = newSweepScratch(n)
+		}
+		opt.rec.addNodes(int64(hi - lo))
+		top, s := parts[w], scratch[w]
+		for u := lo; u < hi; u++ {
+			uid := graph.NodeID(u)
+			s.sweepCandidates(g, uid, kern.witness)
+			for _, v := range s.cands {
+				top.Add(uid, v, kern.finish(uid, v, s.count[v], s.weight[v]))
+			}
+		}
+	})
+	return mergeTopK(k, opt.Seed, parts).Result()
+}
+
+// scorePairsFused is the kernel batch path: queries grouped by source via
+// sourceSortedIndex share one unrestricted sweep per distinct source within
+// a chunk, and each query is answered by an O(1) lookup into the worker's
+// accumulators. A chunk boundary splitting a group only costs one extra
+// sweep; per-query results are unchanged.
+func scorePairsFused(g *graph.Graph, pairs []Pair, opt Options, kern sweepKernel) []float64 {
+	out := make([]float64, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	idx := sourceSortedIndex(pairs, func(p Pair) graph.NodeID { return p.U })
+	n := g.NumNodes()
+	workers := workerCount(opt)
+	scratch := make([]*sweepScratch, workers)
+	shardRange(len(idx), workers, func(wk, lo, hi int) {
+		if scratch[wk] == nil {
+			scratch[wk] = newSweepScratch(n)
+		}
+		s := scratch[wk]
+		cur := graph.NodeID(-1)
+		first := true
+		for _, i := range idx[lo:hi] {
+			p := pairs[i]
+			if p.U != cur || first {
+				cur, first = p.U, false
+				s.sweepAll(g, cur, kern.witness)
+			}
+			if c := s.count[p.V]; c != 0 {
+				out[i] = kern.finish(p.U, p.V, c, s.weight[p.V])
+			}
+		}
+	})
+	return out
+}
+
 // sourceSortedIndex returns pair indices sorted by the node that key
 // extracts, grouping same-source queries so per-source scratch (BFS
 // frontiers, walk distributions, push residuals) is built once per distinct
@@ -199,6 +264,6 @@ func sourceSortedIndex(pairs []Pair, key func(Pair) graph.NodeID) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return key(pairs[idx[a]]) < key(pairs[idx[b]]) })
+	slices.SortFunc(idx, func(a, b int) int { return cmp.Compare(key(pairs[a]), key(pairs[b])) })
 	return idx
 }

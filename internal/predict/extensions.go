@@ -54,20 +54,64 @@ func scoreLHN(g *graph.Graph, _ *naiveBayes, u, v graph.NodeID, common []graph.N
 	return float64(len(common)) / (float64(du) * float64(dv))
 }
 
+// The fused accumulate-then-finish forms: all five survey metrics depend
+// only on the common-neighbor count and endpoint degrees, so they ride the
+// count-only sweep kernel (witness nil).
+
+func fuseSalton(g *graph.Graph, _ *naiveBayes, u, v graph.NodeID, count int32, _ float64) float64 {
+	du, dv := g.Degree(u), g.Degree(v)
+	if du == 0 || dv == 0 {
+		return 0
+	}
+	return float64(count) / math.Sqrt(float64(du)*float64(dv))
+}
+
+func fuseSorensen(g *graph.Graph, _ *naiveBayes, u, v graph.NodeID, count int32, _ float64) float64 {
+	du, dv := g.Degree(u), g.Degree(v)
+	if du+dv == 0 {
+		return 0
+	}
+	return 2 * float64(count) / float64(du+dv)
+}
+
+func fuseHPI(g *graph.Graph, _ *naiveBayes, u, v graph.NodeID, count int32, _ float64) float64 {
+	m := min(g.Degree(u), g.Degree(v))
+	if m == 0 {
+		return 0
+	}
+	return float64(count) / float64(m)
+}
+
+func fuseHDI(g *graph.Graph, _ *naiveBayes, u, v graph.NodeID, count int32, _ float64) float64 {
+	m := max(g.Degree(u), g.Degree(v))
+	if m == 0 {
+		return 0
+	}
+	return float64(count) / float64(m)
+}
+
+func fuseLHN(g *graph.Graph, _ *naiveBayes, u, v graph.NodeID, count int32, _ float64) float64 {
+	du, dv := g.Degree(u), g.Degree(v)
+	if du == 0 || dv == 0 {
+		return 0
+	}
+	return float64(count) / (float64(du) * float64(dv))
+}
+
 // Salton is the cosine similarity index (|Γu∩Γv| / sqrt(ku·kv)).
-var Salton Algorithm = &localMetric{name: "Salton", score: scoreSalton}
+var Salton Algorithm = &localMetric{name: "Salton", score: scoreSalton, fuse: fuseSalton}
 
 // Sorensen is the Sørensen index (2|Γu∩Γv| / (ku+kv)).
-var Sorensen Algorithm = &localMetric{name: "Sorensen", score: scoreSorensen}
+var Sorensen Algorithm = &localMetric{name: "Sorensen", score: scoreSorensen, fuse: fuseSorensen}
 
 // HPI is the Hub Promoted Index (|Γu∩Γv| / min(ku,kv)).
-var HPI Algorithm = &localMetric{name: "HPI", score: scoreHPI}
+var HPI Algorithm = &localMetric{name: "HPI", score: scoreHPI, fuse: fuseHPI}
 
 // HDI is the Hub Depressed Index (|Γu∩Γv| / max(ku,kv)).
-var HDI Algorithm = &localMetric{name: "HDI", score: scoreHDI}
+var HDI Algorithm = &localMetric{name: "HDI", score: scoreHDI, fuse: fuseHDI}
 
 // LHN is the Leicht-Holme-Newman index (|Γu∩Γv| / (ku·kv)).
-var LHN Algorithm = &localMetric{name: "LHN", score: scoreLHN}
+var LHN Algorithm = &localMetric{name: "LHN", score: scoreLHN, fuse: fuseLHN}
 
 // Extensions returns the survey metrics beyond the paper's evaluated set.
 func Extensions() []Algorithm {

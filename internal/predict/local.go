@@ -7,9 +7,17 @@ import (
 )
 
 // localMetric is the family of neighborhood similarity metrics: CN, JC, AA,
-// RA and their Local Naive Bayes variants BCN, BAA, BRA (Table 3). All of
-// them are supported only on pairs sharing at least one common neighbor, so
-// Predict enumerates exactly the unconnected 2-hop pairs.
+// RA and their Local Naive Bayes variants BCN, BAA, BRA (Table 3), plus the
+// survey extensions. All of them are supported only on pairs sharing at
+// least one common neighbor, so Predict enumerates exactly the unconnected
+// 2-hop pairs.
+//
+// Each metric carries two formulations: score is the per-pair fold over the
+// explicit common-neighbor list (the reference the property tests pin the
+// kernels against), while (witness, fuse) express the same metric in the
+// accumulate-then-finish form the fused sweep kernels execute. Both fold
+// witnesses in ascending NodeID order, so their float results are
+// bit-identical.
 type localMetric struct {
 	name string
 	// score computes the metric given the common neighbor list; nb is nil
@@ -17,9 +25,28 @@ type localMetric struct {
 	score func(g *graph.Graph, nb *naiveBayes, u, v graph.NodeID, common []graph.NodeID) float64
 	// usesNB marks the BCN/BAA/BRA family, which needs triangle statistics.
 	usesNB bool
+	// witness is the per-common-neighbor weight accumulated by the fused
+	// sweep; nil for count-only metrics.
+	witness func(g *graph.Graph, nb *naiveBayes, w graph.NodeID) float64
+	// fuse finishes one candidate from the accumulated common-neighbor
+	// count and witness-weight sum.
+	fuse func(g *graph.Graph, nb *naiveBayes, u, v graph.NodeID, count int32, wsum float64) float64
 }
 
 func (m *localMetric) Name() string { return m.name }
+
+// kernel binds the metric's accumulate/finish forms to one snapshot's
+// read-only state (the graph and, for the B* family, the naive Bayes
+// statistics); the returned closures are shared by all workers of a call.
+func (m *localMetric) kernel(g *graph.Graph, nb *naiveBayes) sweepKernel {
+	k := sweepKernel{finish: func(u, v graph.NodeID, count int32, wsum float64) float64 {
+		return m.fuse(g, nb, u, v, count, wsum)
+	}}
+	if m.witness != nil {
+		k.witness = func(w graph.NodeID) float64 { return m.witness(g, nb, w) }
+	}
+	return k
+}
 
 func (m *localMetric) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	validateOptions(opt)
@@ -32,9 +59,18 @@ func (m *localMetric) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	if m.usesNB {
 		nb = newNaiveBayes(g, workerCount(opt))
 	}
+	return predictFusedTwoHop(g, k, opt, m.kernel(g, nb))
+}
+
+// referencePredict is the pre-fusion per-pair intersection path, kept as
+// the oracle the fused Predict is property-tested against.
+func (m *localMetric) referencePredict(g *graph.Graph, k int, opt Options) []Pair {
+	var nb *naiveBayes
+	if m.usesNB {
+		nb = newNaiveBayes(g, workerCount(opt))
+	}
 	return predictTwoHop(g, k, opt, func(u, v graph.NodeID, top *topK) {
-		common := g.CommonNeighbors(u, v)
-		top.Add(u, v, m.score(g, nb, u, v, common))
+		top.Add(u, v, m.score(g, nb, u, v, g.CommonNeighbors(u, v)))
 	})
 }
 
@@ -42,6 +78,16 @@ func (m *localMetric) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []fl
 	r := beginRun(m.name, opScorePairs)
 	defer r.end()
 	r.addPairs(int64(len(pairs)))
+	var nb *naiveBayes
+	if m.usesNB {
+		nb = newNaiveBayes(g, workerCount(opt))
+	}
+	return scorePairsFused(g, pairs, opt, m.kernel(g, nb))
+}
+
+// referenceScorePairs is the pre-fusion per-pair batch path, kept as the
+// oracle the fused ScorePairs is property-tested against.
+func (m *localMetric) referenceScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
 	var nb *naiveBayes
 	if m.usesNB {
 		nb = newNaiveBayes(g, workerCount(opt))
@@ -83,14 +129,29 @@ func newNaiveBayes(g *graph.Graph, workers int) *naiveBayes {
 		}
 		for u := lo; u < hi; u++ {
 			uid := graph.NodeID(u)
-			for _, v := range g.Neighbors(uid) {
+			a := g.Neighbors(uid)
+			for _, v := range a {
 				if v <= uid {
 					continue
 				}
-				for _, w := range g.CommonNeighbors(uid, v) {
-					tri[uid]++
-					tri[v]++
-					tri[w]++
+				// Walk the sorted intersection in place: materializing it
+				// per edge would make the statistics pass the only
+				// per-element allocator left on the local-metric path.
+				b := g.Neighbors(v)
+				i, j := 0, 0
+				for i < len(a) && j < len(b) {
+					switch {
+					case a[i] < b[j]:
+						i++
+					case a[i] > b[j]:
+						j++
+					default:
+						tri[uid]++
+						tri[v]++
+						tri[a[i]]++
+						i++
+						j++
+					}
 				}
 			}
 		}
@@ -156,11 +217,14 @@ func scoreRA(g *graph.Graph, _ *naiveBayes, _, _ graph.NodeID, common []graph.No
 }
 
 func scoreBCN(_ *graph.Graph, nb *naiveBayes, _, _ graph.NodeID, common []graph.NodeID) float64 {
-	s := float64(len(common)) * nb.logS
+	// Fold the role ratios first, then add the count term once — the same
+	// association the fused kernel uses, so both paths produce bit-identical
+	// floats.
+	s := 0.0
 	for _, w := range common {
 		s += nb.logR[w]
 	}
-	return s
+	return float64(len(common))*nb.logS + s
 }
 
 func scoreBAA(g *graph.Graph, nb *naiveBayes, _, _ graph.NodeID, common []graph.NodeID) float64 {
@@ -179,25 +243,70 @@ func scoreBRA(g *graph.Graph, nb *naiveBayes, _, _ graph.NodeID, common []graph.
 	return s
 }
 
+// The same metrics in accumulate-then-finish form for the fused kernels:
+// witnesses produce the per-common-neighbor term, fuses finish a candidate.
+
+func witAA(g *graph.Graph, _ *naiveBayes, w graph.NodeID) float64 {
+	return 1 / nonNegLog(float64(g.Degree(w)))
+}
+
+func witRA(g *graph.Graph, _ *naiveBayes, w graph.NodeID) float64 {
+	return 1 / float64(g.Degree(w))
+}
+
+func witBCN(_ *graph.Graph, nb *naiveBayes, w graph.NodeID) float64 {
+	return nb.logR[w]
+}
+
+func witBAA(g *graph.Graph, nb *naiveBayes, w graph.NodeID) float64 {
+	return (nb.logS + nb.logR[w]) / nonNegLog(float64(g.Degree(w)))
+}
+
+func witBRA(g *graph.Graph, nb *naiveBayes, w graph.NodeID) float64 {
+	return (nb.logS + nb.logR[w]) / float64(g.Degree(w))
+}
+
+func fuseCN(_ *graph.Graph, _ *naiveBayes, _, _ graph.NodeID, count int32, _ float64) float64 {
+	return float64(count)
+}
+
+func fuseJC(g *graph.Graph, _ *naiveBayes, u, v graph.NodeID, count int32, _ float64) float64 {
+	union := g.Degree(u) + g.Degree(v) - int(count)
+	if union == 0 {
+		return 0
+	}
+	return float64(count) / float64(union)
+}
+
+// fuseWeight finishes the metrics whose value is exactly the accumulated
+// witness sum (AA, RA, BAA, BRA).
+func fuseWeight(_ *graph.Graph, _ *naiveBayes, _, _ graph.NodeID, _ int32, wsum float64) float64 {
+	return wsum
+}
+
+func fuseBCN(_ *graph.Graph, nb *naiveBayes, _, _ graph.NodeID, count int32, wsum float64) float64 {
+	return float64(count)*nb.logS + wsum
+}
+
 // The exported local algorithms.
 
 // CN is Common Neighbors [Newman 2001].
-var CN Algorithm = &localMetric{name: "CN", score: scoreCN}
+var CN Algorithm = &localMetric{name: "CN", score: scoreCN, fuse: fuseCN}
 
 // JC is Jaccard's Coefficient.
-var JC Algorithm = &localMetric{name: "JC", score: scoreJC}
+var JC Algorithm = &localMetric{name: "JC", score: scoreJC, fuse: fuseJC}
 
 // AA is the Adamic/Adar index.
-var AA Algorithm = &localMetric{name: "AA", score: scoreAA}
+var AA Algorithm = &localMetric{name: "AA", score: scoreAA, witness: witAA, fuse: fuseWeight}
 
 // RA is the Resource Allocation index [Zhou et al. 2009].
-var RA Algorithm = &localMetric{name: "RA", score: scoreRA}
+var RA Algorithm = &localMetric{name: "RA", score: scoreRA, witness: witRA, fuse: fuseWeight}
 
 // BCN is Local Naive Bayes Common Neighbors [Liu et al. 2011].
-var BCN Algorithm = &localMetric{name: "BCN", score: scoreBCN, usesNB: true}
+var BCN Algorithm = &localMetric{name: "BCN", score: scoreBCN, usesNB: true, witness: witBCN, fuse: fuseBCN}
 
 // BAA is Local Naive Bayes Adamic/Adar.
-var BAA Algorithm = &localMetric{name: "BAA", score: scoreBAA, usesNB: true}
+var BAA Algorithm = &localMetric{name: "BAA", score: scoreBAA, usesNB: true, witness: witBAA, fuse: fuseWeight}
 
 // BRA is Local Naive Bayes Resource Allocation.
-var BRA Algorithm = &localMetric{name: "BRA", score: scoreBRA, usesNB: true}
+var BRA Algorithm = &localMetric{name: "BRA", score: scoreBRA, usesNB: true, witness: witBRA, fuse: fuseWeight}
