@@ -9,6 +9,12 @@
 //	bench                         # renren @ 0.2, GOMAXPROCS workers
 //	bench -preset youtube -scale 0.1 -workers 8 -out BENCH_predict.json
 //	bench -compare old.json       # measure, then diff against a previous file
+//	bench -algs Katz,Rescal,LRW   # benchmark a subset by name
+//
+// Each algorithm is warmed once before timing, so per-snapshot cached
+// artifacts (CSR adjacency, latent factor matrices — see internal/snapcache)
+// are built outside the timed loop: the latent-family rows measure scoring
+// against warm factors, the steady state of an evaluation sweep.
 package main
 
 import (
@@ -165,6 +171,7 @@ func main() {
 	mintime := flag.Duration("mintime", 2*time.Second, "minimum sampling time per (algorithm, workers) cell")
 	maxIters := flag.Int("maxiters", 50, "iteration cap per cell")
 	compare := flag.String("compare", "", "previous BENCH_predict.json to diff the fresh results against")
+	algsFlag := flag.String("algs", "", "comma-separated algorithm names to benchmark (default: the evaluated set plus SRW)")
 	obsOn := flag.Bool("obs", false, "collect telemetry and embed the dump in the output JSON")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while benchmarking; implies -obs")
 	progress := flag.Duration("progress", 0, "log a progress line to stderr at this interval; implies -obs")
@@ -207,7 +214,19 @@ func main() {
 		GitSHA:     gitSHA(),
 		Timestamp:  time.Now().UTC(),
 	}
-	for _, alg := range predict.All() {
+	algs := append(predict.All(), predict.SRW)
+	if *algsFlag != "" {
+		algs = nil
+		for _, name := range strings.Split(*algsFlag, ",") {
+			alg, err := predict.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: -algs: %v\n", err)
+				os.Exit(2)
+			}
+			algs = append(algs, alg)
+		}
+	}
+	for _, alg := range algs {
 		var serialNs int64
 		for _, w := range counts {
 			opt := predict.DefaultOptions()

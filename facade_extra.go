@@ -31,8 +31,8 @@ func ReadTraceBinary(r io.Reader) (*Trace, error) {
 }
 
 // ExtensionAlgorithms lists the survey metrics beyond the paper's 14
-// (Salton, Sorensen, HPI, HDI, LHN) plus the community-model SBM; all are
-// resolvable through AlgorithmByName-style lookup via this slice.
+// (Salton, Sorensen, HPI, HDI, LHN, SRW) plus the community-model SBM; all
+// are resolvable through AlgorithmByName-style lookup via this slice.
 func ExtensionAlgorithms() []Algorithm {
 	return append(predict.Extensions(), community.SBM)
 }

@@ -37,8 +37,8 @@ func TestFacadeCSVRoundTrip(t *testing.T) {
 
 func TestFacadeExtensions(t *testing.T) {
 	exts := ExtensionAlgorithms()
-	if len(exts) != 6 {
-		t.Fatalf("extensions = %d, want 5 survey metrics + SBM", len(exts))
+	if len(exts) != 7 {
+		t.Fatalf("extensions = %d, want 6 survey metrics + SBM", len(exts))
 	}
 	tr, cfg := smallTrace(t)
 	cuts := tr.Cuts(SnapshotDelta(cfg))

@@ -231,13 +231,17 @@ func (n *Network) runSweep(c Config, algs []predict.Algorithm) []SweepCell {
 		lambda2 float64
 	}
 	var trans []transition
+	// The transition indices are increasing, so the snapshots extend one
+	// another: one incremental builder applies each cut's edge delta instead
+	// of re-materializing O(E) adjacency per cut.
+	builder := graph.NewIncrementalBuilder(n.Trace)
 	for _, i := range c.transitions(len(n.Cuts)) {
 		if n.Cuts[i].Time <= 0 {
 			// Still inside the pre-trace seed community; the paper's traces
 			// start from an already-grown network, so skip these cuts.
 			continue
 		}
-		prev := n.Trace.SnapshotAtEdge(n.Cuts[i].EdgeCount)
+		prev := builder.AtEdge(n.Cuts[i].EdgeCount)
 		truth := predict.TruthSet(prev, n.Trace.NewEdgesBetween(n.Cuts[i], n.Cuts[i+1]))
 		if len(truth) == 0 {
 			continue

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"linkpred/internal/obs"
+	"linkpred/internal/predict"
+	"linkpred/internal/snapcache"
+)
+
+// TestSweepTelemetryShowsIncrementalSnapshots pins the sweep's two sharing
+// layers to the telemetry dump: snapshots are materialized through the
+// incremental builder (graph/inc_snapshots) rather than per-cut rebuilds,
+// and the algorithms scoring one cut share its cached artifacts
+// (snapcache/hits alongside the initial misses).
+func TestSweepTelemetryShowsIncrementalSnapshots(t *testing.T) {
+	obs.Enable(true)
+	defer obs.Enable(false)
+	obs.Reset()
+	snapcache.Reset()
+	defer snapcache.Reset()
+
+	c := TestConfig()
+	c.Scale = 0.12
+	c.MaxTransitions = 3
+	n := LoadNetwork(c, "facebook")
+	cells := n.runSweep(c, []predict.Algorithm{predict.KatzLR, predict.Rescal, predict.PA})
+	if len(cells) == 0 {
+		t.Fatal("sweep produced no cells")
+	}
+
+	counters := obs.Snapshot().Counters
+	if counters["graph/inc_snapshots"] == 0 {
+		t.Error("sweep did not build snapshots incrementally")
+	}
+	if counters["snapcache/misses"] == 0 {
+		t.Error("no snapshot artifacts were built")
+	}
+	if counters["snapcache/hits"] == 0 {
+		t.Error("algorithms sharing a cut produced no artifact cache hits")
+	}
+}

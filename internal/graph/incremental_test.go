@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// graphsEqual compares two snapshots field for field.
+func graphsEqual(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() || a.Time != b.Time {
+		return false
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		if !slices.Equal(a.Neighbors(NodeID(u)), b.Neighbors(NodeID(u))) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIncrementalMatchesSnapshotAtEdge(t *testing.T) {
+	tr := testTrace()
+	b := NewIncrementalBuilder(tr)
+	// Every prefix, including m=0 and repeated counts past the end.
+	for m := 0; m <= tr.NumEdges()+1; m++ {
+		got := b.AtEdge(m)
+		want := tr.SnapshotAtEdge(m)
+		if !graphsEqual(got, want) {
+			t.Fatalf("AtEdge(%d): n=%d e=%d t=%d, want n=%d e=%d t=%d",
+				m, got.NumNodes(), got.NumEdges(), got.Time,
+				want.NumNodes(), want.NumEdges(), want.Time)
+		}
+	}
+}
+
+// randomTrace builds a consistent trace: non-decreasing arrivals, edges only
+// among arrived nodes, with duplicate edges mixed in to exercise dedup.
+func randomTrace(rng *rand.Rand) *Trace {
+	n := 2 + rng.Intn(25)
+	arr := make([]int64, n)
+	for i := 1; i < n; i++ {
+		arr[i] = arr[i-1] + int64(rng.Intn(4))
+	}
+	var edges []Edge
+	tm := arr[0]
+	for i := 0; i < rng.Intn(80); i++ {
+		tm += int64(rng.Intn(3))
+		alive := 0
+		for alive < n && arr[alive] <= tm {
+			alive++
+		}
+		if alive < 2 {
+			continue
+		}
+		u := NodeID(rng.Intn(alive))
+		v := NodeID(rng.Intn(alive))
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{U: u, V: v, Time: tm})
+		if rng.Intn(4) == 0 {
+			// Duplicate (possibly flipped) to exercise the dedup path.
+			edges = append(edges, Edge{U: v, V: u, Time: tm})
+		}
+	}
+	return &Trace{Name: "q", Arrival: arr, Edges: edges}
+}
+
+// Property: the incremental builder reproduces SnapshotAtEdge over a full
+// cut sequence of a random trace, and earlier snapshots stay immutable as
+// the builder advances past them.
+func TestIncrementalMatchesSnapshotQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng)
+		cuts := tr.Cuts(1 + rng.Intn(5))
+		b := NewIncrementalBuilder(tr)
+		type emitted struct {
+			m int
+			g *Graph
+		}
+		var prev []emitted
+		for _, c := range cuts {
+			g := b.AtEdge(c.EdgeCount)
+			if !graphsEqual(g, tr.SnapshotAtEdge(c.EdgeCount)) {
+				return false
+			}
+			prev = append(prev, emitted{c.EdgeCount, g})
+		}
+		// Copy-on-write must not have bled later deltas into earlier emits.
+		for _, e := range prev {
+			if !graphsEqual(e.g, tr.SnapshotAtEdge(e.m)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalPanicsOnDecreasing(t *testing.T) {
+	b := NewIncrementalBuilder(testTrace())
+	b.AtEdge(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AtEdge(2) after AtEdge(4) should panic")
+		}
+	}()
+	b.AtEdge(2)
+}

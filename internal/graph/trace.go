@@ -113,12 +113,15 @@ func (t *Trace) Cuts(delta int) []SnapshotCut {
 }
 
 // Sequence materializes the snapshot sequence (G_1 ... G_T) for the given
-// delta. Snapshots share no state and may be used concurrently.
+// delta, extending each snapshot from the previous one instead of
+// re-sorting every edge prefix. Snapshots never share mutable state and may
+// be used concurrently.
 func (t *Trace) Sequence(delta int) []*Graph {
 	cuts := t.Cuts(delta)
 	gs := make([]*Graph, len(cuts))
+	b := NewIncrementalBuilder(t)
 	for i, c := range cuts {
-		gs[i] = t.SnapshotAtEdge(c.EdgeCount)
+		gs[i] = b.AtEdge(c.EdgeCount)
 	}
 	return gs
 }

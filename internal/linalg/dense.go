@@ -9,6 +9,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
+
+	"linkpred/internal/obs"
+	"linkpred/internal/par"
 )
 
 // Dense is a row-major dense matrix.
@@ -49,27 +53,49 @@ func (m *Dense) T() *Dense {
 	return t
 }
 
-// MatMul returns a * b.
-func MatMul(a, b *Dense) *Dense {
+// MatMul returns a * b, computing disjoint row blocks of the product on
+// workers goroutines. Each output row accumulates over k in the same order
+// as a serial run, so the product is bit-identical at any worker count.
+func (a *Dense) MatMul(b *Dense, workers int) *Dense {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: MatMul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	var start time.Time
+	track := obs.Enabled()
+	if track {
+		start = time.Now()
+	}
 	out := NewDense(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
+	// Short-but-wide products (XᵀX in ALS: rank rows, each costing n·rank
+	// flops) would fall under the generic fan-out threshold despite heavy
+	// per-row work, so the threshold drops when rows are individually large.
+	minRows := par.ShardMin
+	if a.Cols*b.Cols >= 1<<12 {
+		minRows = 2
+	}
+	par.ShardRangeMin(a.Rows, workers, minRows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
+	})
+	if track {
+		obs.GetHistogram("linalg/mat_mul_ns").Observe(time.Since(start).Nanoseconds())
 	}
 	return out
 }
+
+// MatMul returns a * b on the calling goroutine.
+func MatMul(a, b *Dense) *Dense { return a.MatMul(b, 1) }
 
 // AddDiag adds v to every diagonal element in place (ridge regularization).
 func (m *Dense) AddDiag(v float64) {
@@ -247,43 +273,43 @@ func rotate(m, v *Dense, p, q int, c, s float64) {
 	}
 }
 
-// qrOrthonormalize replaces the columns of m with an orthonormal basis of
-// their span (modified Gram-Schmidt). Near-dependent columns are replaced by
-// fresh random directions drawn from rng so subspace iteration never
-// collapses.
-func qrOrthonormalize(m *Dense, rng *rand.Rand) {
-	rows, cols := m.Rows, m.Cols
-	col := make([]float64, rows)
-	for j := 0; j < cols; j++ {
-		for i := 0; i < rows; i++ {
-			col[i] = m.At(i, j)
-		}
+// qrRows replaces the rows of m with an orthonormal basis of their span
+// (modified Gram-Schmidt over contiguous rows — the transposed view TopEig
+// keeps its iterate in, which turns the strided column walks of the former
+// column-major variant into sequential memory scans). Near-dependent rows
+// are replaced by fresh random directions drawn from rng so subspace
+// iteration never collapses. The float operation sequence per basis vector
+// is exactly the former column-major one, so results are bit-identical.
+func qrRows(m *Dense, rng *rand.Rand) {
+	for j := 0; j < m.Rows; j++ {
+		row := m.Row(j)
 		for attempt := 0; ; attempt++ {
 			for k := 0; k < j; k++ {
+				prev := m.Row(k)
 				var dot float64
-				for i := 0; i < rows; i++ {
-					dot += col[i] * m.At(i, k)
+				for i := range row {
+					dot += row[i] * prev[i]
 				}
-				for i := 0; i < rows; i++ {
-					col[i] -= dot * m.At(i, k)
+				for i := range row {
+					row[i] -= dot * prev[i]
 				}
 			}
-			norm := Norm2(col)
+			norm := Norm2(row)
 			if norm > 1e-10 {
-				for i := 0; i < rows; i++ {
-					m.Set(i, j, col[i]/norm)
+				for i := range row {
+					row[i] /= norm
 				}
 				break
 			}
 			if attempt > 4 {
-				// Degenerate subspace smaller than cols; zero the column.
-				for i := 0; i < rows; i++ {
-					m.Set(i, j, 0)
+				// Degenerate subspace smaller than the basis; zero the row.
+				for i := range row {
+					row[i] = 0
 				}
 				break
 			}
-			for i := 0; i < rows; i++ {
-				col[i] = rng.NormFloat64()
+			for i := range row {
+				row[i] = rng.NormFloat64()
 			}
 		}
 	}

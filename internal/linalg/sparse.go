@@ -1,9 +1,14 @@
 package linalg
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
+	"time"
 
 	"linkpred/internal/graph"
+	"linkpred/internal/obs"
+	"linkpred/internal/par"
 )
 
 // CSR is a sparse matrix in compressed-sparse-row form with unit values,
@@ -14,25 +19,39 @@ type CSR struct {
 	Col    []graph.NodeID
 }
 
-// FromGraph builds the (symmetric) adjacency matrix of g.
-func FromGraph(g *graph.Graph) *CSR {
-	n := g.NumNodes()
-	c := &CSR{N: n, RowPtr: make([]int32, n+1)}
-	nnz := 0
-	for u := 0; u < n; u++ {
-		nnz += g.Degree(graph.NodeID(u))
+// checkCSRSize verifies the directed entry count fits the int32 RowPtr
+// offsets. Factored out so the boundary is unit-testable without allocating
+// two-billion-entry slices.
+func checkCSRSize(nnz int64) error {
+	if nnz > math.MaxInt32 {
+		return fmt.Errorf("linalg: adjacency has %d directed entries, exceeding the int32 CSR offset limit %d", nnz, int64(math.MaxInt32))
 	}
+	return nil
+}
+
+// FromGraph builds the (symmetric) adjacency matrix of g. It fails if the
+// graph's directed entry count (2|E|) overflows the int32 row offsets.
+func FromGraph(g *graph.Graph) (*CSR, error) {
+	n := g.NumNodes()
+	nnz := int64(0)
+	for u := 0; u < n; u++ {
+		nnz += int64(g.Degree(graph.NodeID(u)))
+	}
+	if err := checkCSRSize(nnz); err != nil {
+		return nil, err
+	}
+	c := &CSR{N: n, RowPtr: make([]int32, n+1)}
 	c.Col = make([]graph.NodeID, 0, nnz)
 	for u := 0; u < n; u++ {
 		c.Col = append(c.Col, g.Neighbors(graph.NodeID(u))...)
 		c.RowPtr[u+1] = int32(len(c.Col))
 	}
-	return c
+	return c, nil
 }
 
-// MulVec computes y = A x. y must have length N and is overwritten.
-func (a *CSR) MulVec(x, y []float64) {
-	for i := 0; i < a.N; i++ {
+// mulVecRange computes rows [lo, hi) of y = A x.
+func (a *CSR) mulVecRange(x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		var s float64
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 			s += x[a.Col[k]]
@@ -41,10 +60,18 @@ func (a *CSR) MulVec(x, y []float64) {
 	}
 }
 
-// MulDense computes Y = A X for a dense n x r matrix X, overwriting Y.
-func (a *CSR) MulDense(x, y *Dense) {
+// MulVec computes y = A x across workers goroutines. y must have length N
+// and is overwritten. Each output row is owned by exactly one worker and
+// accumulates in the same neighbor order as a serial run, so the result is
+// bit-identical at any worker count.
+func (a *CSR) MulVec(x, y []float64, workers int) {
+	par.ShardRange(a.N, workers, func(_, lo, hi int) { a.mulVecRange(x, y, lo, hi) })
+}
+
+// mulDenseRange computes rows [lo, hi) of Y = A X.
+func (a *CSR) mulDenseRange(x, y *Dense, lo, hi int) {
 	r := x.Cols
-	for i := 0; i < a.N; i++ {
+	for i := lo; i < hi; i++ {
 		yrow := y.Row(i)
 		for j := 0; j < r; j++ {
 			yrow[j] = 0
@@ -58,41 +85,89 @@ func (a *CSR) MulDense(x, y *Dense) {
 	}
 }
 
+// MulDense computes Y = A X for a dense n x r matrix X across workers
+// goroutines, overwriting Y. Row ownership keeps the per-row accumulation
+// order identical to a serial run, so the result is bit-identical at any
+// worker count.
+func (a *CSR) MulDense(x, y *Dense, workers int) {
+	var start time.Time
+	track := obs.Enabled()
+	if track {
+		start = time.Now()
+	}
+	par.ShardRange(a.N, workers, func(_, lo, hi int) { a.mulDenseRange(x, y, lo, hi) })
+	if track {
+		obs.GetHistogram("linalg/mul_dense_ns").Observe(time.Since(start).Nanoseconds())
+	}
+}
+
+// transposeInto writes src^T into dst; shapes must already agree.
+func transposeInto(dst, src *Dense) {
+	for i := 0; i < src.Rows; i++ {
+		row := src.Row(i)
+		for j, v := range row {
+			dst.Data[j*dst.Cols+i] = v
+		}
+	}
+}
+
 // TopEig approximates the r dominant (largest magnitude) eigenpairs of the
-// symmetric matrix a using subspace iteration with Rayleigh-Ritz extraction.
-// Eigenvalues are returned in descending order of signed value; the i-th
-// column of vecs is the eigenvector for vals[i].
-func (a *CSR) TopEig(r, iters int, seed int64) (vals []float64, vecs *Dense) {
+// symmetric matrix a using subspace iteration with Rayleigh-Ritz extraction,
+// spreading the sparse multiplies and the Ritz projection over workers
+// goroutines. Eigenvalues are returned in descending order of signed value;
+// the i-th column of vecs is the eigenvector for vals[i].
+//
+// Internally the iterate basis lives in transposed r x n form so each basis
+// vector is a contiguous row during orthonormalization and projection; the
+// random initialization and every float operation replay the historical
+// n x r element order, so results are bit-identical to the original serial
+// column-major implementation at any worker count.
+func (a *CSR) TopEig(r, iters int, seed int64, workers int) (vals []float64, vecs *Dense) {
 	if r > a.N {
 		r = a.N
 	}
 	if r <= 0 {
 		return nil, NewDense(a.N, 0)
 	}
+	var startAll time.Time
+	track := obs.Enabled()
+	if track {
+		startAll = time.Now()
+	}
 	rng := rand.New(rand.NewSource(seed))
-	q := NewDense(a.N, r)
-	for i := range q.Data {
-		q.Data[i] = rng.NormFloat64()
-	}
-	qrOrthonormalize(q, rng)
-	y := NewDense(a.N, r)
-	for it := 0; it < iters; it++ {
-		a.MulDense(q, y)
-		q, y = y, q
-		qrOrthonormalize(q, rng)
-	}
-	// Rayleigh-Ritz: T = Q^T A Q, then rotate Q by T's eigenvectors.
-	a.MulDense(q, y) // y = A Q
-	t := NewDense(r, r)
-	for i := 0; i < r; i++ {
+	qt := NewDense(r, a.N) // basis vectors as rows
+	// Draw in the element order of the historical row-major n x r fill so
+	// the starting subspace (and therefore every downstream float) matches
+	// the original implementation exactly.
+	for i := 0; i < a.N; i++ {
 		for j := 0; j < r; j++ {
-			var s float64
-			for k := 0; k < a.N; k++ {
-				s += q.At(k, i) * y.At(k, j)
-			}
-			t.Set(i, j, s)
+			qt.Data[j*a.N+i] = rng.NormFloat64()
 		}
 	}
+	qrRows(qt, rng)
+	q := NewDense(a.N, r)
+	y := NewDense(a.N, r)
+	for it := 0; it < iters; it++ {
+		transposeInto(q, qt)
+		a.MulDense(q, y, workers)
+		transposeInto(qt, y)
+		qrRows(qt, rng)
+	}
+	// Rayleigh-Ritz: T = Q^T A Q, then rotate Q by T's eigenvectors.
+	transposeInto(q, qt)
+	a.MulDense(q, y, workers) // y = A Q
+	yt := NewDense(r, a.N)
+	transposeInto(yt, y)
+	t := NewDense(r, r)
+	par.ShardRangeMin(r, workers, 2, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			qrow := qt.Row(i)
+			trow := t.Row(i)
+			for j := 0; j < r; j++ {
+				trow[j] = Dot(qrow, yt.Row(j))
+			}
+		}
+	})
 	// Symmetrize against round-off before Jacobi.
 	for i := 0; i < r; i++ {
 		for j := i + 1; j < r; j++ {
@@ -102,6 +177,9 @@ func (a *CSR) TopEig(r, iters int, seed int64) (vals []float64, vecs *Dense) {
 		}
 	}
 	tvals, tvecs := JacobiEig(t)
-	ritz := MatMul(q, tvecs)
+	ritz := q.MatMul(tvecs, workers)
+	if track {
+		obs.GetHistogram("linalg/top_eig_ns").Observe(time.Since(startAll).Nanoseconds())
+	}
 	return tvals, ritz
 }

@@ -4,11 +4,9 @@ import (
 	"cmp"
 	"runtime"
 	"slices"
-	"sync"
-	"sync/atomic"
 
 	"linkpred/internal/graph"
-	"linkpred/internal/obs"
+	"linkpred/internal/par"
 )
 
 // This file is the shared parallel scoring engine. Every algorithm routes
@@ -36,65 +34,14 @@ func workerCount(opt Options) int {
 
 // shardMin is the range size below which goroutine fan-out costs more than
 // the sweep itself; smaller ranges run on the calling goroutine.
-const shardMin = 128
+const shardMin = par.ShardMin
 
-// chunksPerWorker oversplits the range so dynamically claimed chunks
-// rebalance the skewed per-node costs of power-law degree distributions.
-const chunksPerWorker = 8
-
-// shardRange splits [0, n) into contiguous chunks and fans them out over
-// workers goroutines. Chunks are claimed dynamically; body receives the
-// claiming worker's index so callers can keep per-worker scratch state
-// (invocations for the same worker never overlap, so that state needs no
-// locking).
+// shardRange fans [0, n) out over workers goroutines with dynamic chunk
+// claiming; it is the package-local alias of par.ShardRange, which also
+// drives the linalg backend so both layers share one chunk-accounting
+// telemetry stream.
 func shardRange(n, workers int, body func(worker, lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n < shardMin {
-		body(0, 0, n)
-		return
-	}
-	chunks := workers * chunksPerWorker
-	size := (n + chunks - 1) / chunks
-	// track is resolved once per fan-out: per-chunk accounting stays in a
-	// goroutine-local counter and flushes to obs after the worker drains,
-	// so the claim loop itself carries no telemetry cost.
-	track := obs.Enabled()
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			claimed := int64(0)
-			for {
-				c := int(atomic.AddInt64(&next, 1)) - 1
-				lo := c * size
-				if lo >= n {
-					break
-				}
-				hi := lo + size
-				if hi > n {
-					hi = n
-				}
-				body(w, lo, hi)
-				claimed++
-			}
-			if track && claimed > 0 {
-				obs.AddWorkerChunks(w, claimed)
-				obs.GetCounter("engine/chunks_claimed").Add(claimed)
-				obs.GetHistogram("engine/chunks_per_worker").Observe(claimed)
-			}
-		}(w)
-	}
-	wg.Wait()
-	if track {
-		obs.GetCounter("engine/shard_fanouts").Inc()
-	}
+	par.ShardRange(n, workers, body)
 }
 
 // mergeTopK folds per-worker selections into one selector. Entries carry

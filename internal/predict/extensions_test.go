@@ -34,7 +34,7 @@ func TestExtensionValues(t *testing.T) {
 
 func TestExtensionsRegistry(t *testing.T) {
 	exts := Extensions()
-	if len(exts) != 5 {
+	if len(exts) != 6 {
 		t.Fatalf("extensions = %d", len(exts))
 	}
 	for _, a := range exts {

@@ -1,10 +1,13 @@
 package predict
 
 import (
+	"cmp"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"linkpred/internal/graph"
+	"linkpred/internal/par"
+	"linkpred/internal/snapcache"
 )
 
 // The latent-space algorithms (Katz, Rescal) rank a bounded global candidate
@@ -33,12 +36,11 @@ func degreeBlock(g *graph.Graph, opt Options) (order []graph.NodeID, inBlock []b
 	for i := range order {
 		order[i] = graph.NodeID(i)
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		da, db := g.Degree(order[a]), g.Degree(order[b])
-		if da != db {
-			return da > db
+	slices.SortStableFunc(order, func(a, b graph.NodeID) int {
+		if c := cmp.Compare(g.Degree(b), g.Degree(a)); c != 0 {
+			return c
 		}
-		return order[a] < order[b]
+		return cmp.Compare(a, b)
 	})
 	inBlock = make([]bool, n)
 	for _, u := range order[:blockSize] {
@@ -129,28 +131,51 @@ func predictGlobal(g *graph.Graph, k int, opt Options, score func(u, v graph.Nod
 		top.Add(u, v, score(u, v))
 	})
 
-	// Phase 2: top-degree block x everyone, sharded over v.
-	order, inBlock, blockSize := degreeBlock(g, opt)
+	// Phase 2: top-degree block x everyone, sharded over block entries. For
+	// each block node u one stamp pass marks everything phase 2 must skip —
+	// u itself, its direct neighbors, and every node sharing a common
+	// neighbor with u (the 2-hop shell phase 1 already covered) — so the
+	// n-node scan below replaces the former per-pair intersection counting
+	// with an O(1) stamp test. The candidate set is exactly the one
+	// blockPairEligible admits, which the serial-enumeration equivalence
+	// test pins.
+	blk := snapcache.For(g).Block(opt.TopDegreeBlock)
 	workers := workerCount(opt)
 	blockParts := make([]*topK, workers)
-	shardRange(n, workers, func(wk, lo, hi int) {
+	stamps := make([][]int32, workers)
+	par.ShardRangeMin(len(blk.Order), workers, 1, func(wk, lo, hi int) {
 		if blockParts[wk] == nil {
 			blockParts[wk] = newTopKRec(k, opt)
+			stamps[wk] = newStamp(n)
 		}
-		top := blockParts[wk]
-		for v := lo; v < hi; v++ {
-			vid := graph.NodeID(v)
-			for bi, u := range order[:blockSize] {
-				if blockPairEligible(g, order, inBlock, blockSize, bi, u, vid) {
-					top.Add(u, vid, score(u, vid))
+		top, stamp := blockParts[wk], stamps[wk]
+		for bi := lo; bi < hi; bi++ {
+			u := blk.Order[bi]
+			mark := int32(bi)
+			stamp[u] = mark
+			for _, w := range g.Neighbors(u) {
+				stamp[w] = mark
+				for _, x := range g.Neighbors(w) {
+					stamp[x] = mark
 				}
+			}
+			for v := 0; v < n; v++ {
+				vid := graph.NodeID(v)
+				if stamp[vid] == mark {
+					continue
+				}
+				// Emit block-block pairs once (by block order).
+				if blk.In[vid] && blk.Pos[vid] < int32(bi) {
+					continue
+				}
+				top.Add(u, vid, score(u, vid))
 			}
 		}
 	})
 
 	// Phase 3: serial random distant pairs.
 	rest := newTopKRec(k, opt)
-	randomCandidates(g, opt, inBlock, func(u, v graph.NodeID) {
+	randomCandidates(g, opt, blk.In, func(u, v graph.NodeID) {
 		rest.Add(u, v, score(u, v))
 	})
 

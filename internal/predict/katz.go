@@ -1,12 +1,13 @@
 package predict
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"linkpred/internal/graph"
 	"linkpred/internal/linalg"
+	"linkpred/internal/snapcache"
 )
 
 // katzLR is the low-rank Katz approximation (Katz_lr, Acar et al. [1]):
@@ -23,8 +24,9 @@ var KatzLR Algorithm = katzLR{}
 func (katzLR) Name() string { return "Katz" }
 
 // katzFactors returns the rank-r factors: scaled[u] · raw[v] = score(u,v).
+// The factors are cached per snapshot under the full parameter set, so
+// Predict and ScorePairs against the same cut share one eigensolve.
 func katzFactors(g *graph.Graph, opt Options) (scaled, raw *linalg.Dense) {
-	a := linalg.FromGraph(g)
 	rank := opt.KatzRank
 	if rank <= 0 {
 		rank = 32
@@ -33,23 +35,27 @@ func katzFactors(g *graph.Graph, opt Options) (scaled, raw *linalg.Dense) {
 	if iters <= 0 {
 		iters = 40
 	}
-	vals, vecs := a.TopEig(rank, iters, opt.Seed)
-	scaled = vecs.Clone()
-	for i, lam := range vals {
-		f := 0.0
-		bl := opt.KatzBeta * lam
-		if bl < 1 {
-			f = bl / (1 - bl)
-		} else {
-			// Series diverges for βλ >= 1; clamp to a large finite weight,
-			// preserving the ordering (dominant directions dominate).
-			f = 1e6
+	key := fmt.Sprintf("predict/katz/r=%d,it=%d,beta=%v,seed=%d", rank, iters, opt.KatzBeta, opt.Seed)
+	return factorPair(g, key, func() (*linalg.Dense, *linalg.Dense) {
+		a := snapCSR(g)
+		vals, vecs := a.TopEig(rank, iters, opt.Seed, workerCount(opt))
+		scaled := vecs.Clone()
+		for i, lam := range vals {
+			f := 0.0
+			bl := opt.KatzBeta * lam
+			if bl < 1 {
+				f = bl / (1 - bl)
+			} else {
+				// Series diverges for βλ >= 1; clamp to a large finite weight,
+				// preserving the ordering (dominant directions dominate).
+				f = 1e6
+			}
+			for u := 0; u < scaled.Rows; u++ {
+				scaled.Set(u, i, vecs.At(u, i)*f)
+			}
 		}
-		for u := 0; u < scaled.Rows; u++ {
-			scaled.Set(u, i, vecs.At(u, i)*f)
-		}
-	}
-	return scaled, vecs
+		return scaled, vecs
+	})
 }
 
 func (katzLR) Predict(g *graph.Graph, k int, opt Options) []Pair {
@@ -57,8 +63,8 @@ func (katzLR) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	r := beginRun("Katz", opPredict)
 	defer r.end()
 	opt.rec = r
-	// The factors build once (serial eigensolve) and are read-only across
-	// the scoring workers.
+	// The factors build once (parallel eigensolve, cached per snapshot) and
+	// are read-only across the scoring workers.
 	scaled, raw := katzFactors(g, opt)
 	return predictGlobal(g, k, opt, func(u, v graph.NodeID) float64 {
 		return linalg.Dot(scaled.Row(int(u)), raw.Row(int(v)))
@@ -94,6 +100,7 @@ var KatzSC Algorithm = katzSC{}
 func (katzSC) Name() string { return "KatzSC" }
 
 // katzSCFactors returns P = C W⁺ (n x L) and C (n x L); score = P_u · C_v.
+// Cached per snapshot under the full parameter set.
 func katzSCFactors(g *graph.Graph, opt Options) (p, c *linalg.Dense) {
 	n := g.NumNodes()
 	L := opt.KatzLandmarks
@@ -107,6 +114,13 @@ func katzSCFactors(g *graph.Graph, opt Options) (p, c *linalg.Dense) {
 	if maxLen <= 0 {
 		maxLen = 4
 	}
+	key := fmt.Sprintf("predict/katzsc/L=%d,len=%d,beta=%v,seed=%d", L, maxLen, opt.KatzBeta, opt.Seed)
+	return factorPair(g, key, func() (*linalg.Dense, *linalg.Dense) {
+		return buildKatzSCFactors(g, opt, n, L, maxLen)
+	})
+}
+
+func buildKatzSCFactors(g *graph.Graph, opt Options, n, L, maxLen int) (p, c *linalg.Dense) {
 	landmarks := pickLandmarks(g, L, opt.Seed)
 	// C columns: truncated Katz vectors from each landmark. Columns are
 	// independent, so the computation shards over landmarks; workers write
@@ -158,26 +172,17 @@ func katzSCFactors(g *graph.Graph, opt Options) (p, c *linalg.Dense) {
 			winv.Set(i, j, s)
 		}
 	}
-	return linalg.MatMul(c, winv), c
+	return c.MatMul(winv, workerCount(opt)), c
 }
 
 var nystromCutoff = 1e-10
 
 // pickLandmarks selects half the landmarks by top degree and the rest
-// uniformly at random among remaining nodes.
+// uniformly at random among remaining nodes. The degree order comes from
+// the shared snapshot cache (same canonical comparator as the top-degree
+// candidate block and PA's frontier).
 func pickLandmarks(g *graph.Graph, L int, seed int64) []graph.NodeID {
-	n := g.NumNodes()
-	order := make([]graph.NodeID, n)
-	for i := range order {
-		order[i] = graph.NodeID(i)
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		da, db := g.Degree(order[a]), g.Degree(order[b])
-		if da != db {
-			return da > db
-		}
-		return order[a] < order[b]
-	})
+	order := snapcache.For(g).DegreeOrder()
 	half := L / 2
 	landmarks := append([]graph.NodeID(nil), order[:half]...)
 	rest := append([]graph.NodeID(nil), order[half:]...)

@@ -26,8 +26,10 @@ type localMetric struct {
 	// usesNB marks the BCN/BAA/BRA family, which needs triangle statistics.
 	usesNB bool
 	// witness is the per-common-neighbor weight accumulated by the fused
-	// sweep; nil for count-only metrics.
-	witness func(g *graph.Graph, nb *naiveBayes, w graph.NodeID) float64
+	// sweep; nil for count-only metrics. ld is the snapshot's shared
+	// nonNegLog-degree table (snapcache), so log-weighted witnesses cost a
+	// load instead of a math.Log per wedge.
+	witness func(g *graph.Graph, ld []float64, nb *naiveBayes, w graph.NodeID) float64
 	// fuse finishes one candidate from the accumulated common-neighbor
 	// count and witness-weight sum.
 	fuse func(g *graph.Graph, nb *naiveBayes, u, v graph.NodeID, count int32, wsum float64) float64
@@ -43,7 +45,8 @@ func (m *localMetric) kernel(g *graph.Graph, nb *naiveBayes) sweepKernel {
 		return m.fuse(g, nb, u, v, count, wsum)
 	}}
 	if m.witness != nil {
-		k.witness = func(w graph.NodeID) float64 { return m.witness(g, nb, w) }
+		ld := logDegTable(g)
+		k.witness = func(w graph.NodeID) float64 { return m.witness(g, ld, nb, w) }
 	}
 	return k
 }
@@ -246,23 +249,27 @@ func scoreBRA(g *graph.Graph, nb *naiveBayes, _, _ graph.NodeID, common []graph.
 // The same metrics in accumulate-then-finish form for the fused kernels:
 // witnesses produce the per-common-neighbor term, fuses finish a candidate.
 
-func witAA(g *graph.Graph, _ *naiveBayes, w graph.NodeID) float64 {
-	return 1 / nonNegLog(float64(g.Degree(w)))
+// The log-weighted witnesses read the cached table (ld[w] is exactly
+// nonNegLog(deg(w)), so the division below reproduces the reference float
+// bit for bit); the rest ignore it.
+
+func witAA(_ *graph.Graph, ld []float64, _ *naiveBayes, w graph.NodeID) float64 {
+	return 1 / ld[w]
 }
 
-func witRA(g *graph.Graph, _ *naiveBayes, w graph.NodeID) float64 {
+func witRA(g *graph.Graph, _ []float64, _ *naiveBayes, w graph.NodeID) float64 {
 	return 1 / float64(g.Degree(w))
 }
 
-func witBCN(_ *graph.Graph, nb *naiveBayes, w graph.NodeID) float64 {
+func witBCN(_ *graph.Graph, _ []float64, nb *naiveBayes, w graph.NodeID) float64 {
 	return nb.logR[w]
 }
 
-func witBAA(g *graph.Graph, nb *naiveBayes, w graph.NodeID) float64 {
-	return (nb.logS + nb.logR[w]) / nonNegLog(float64(g.Degree(w)))
+func witBAA(_ *graph.Graph, ld []float64, nb *naiveBayes, w graph.NodeID) float64 {
+	return (nb.logS + nb.logR[w]) / ld[w]
 }
 
-func witBRA(g *graph.Graph, nb *naiveBayes, w graph.NodeID) float64 {
+func witBRA(g *graph.Graph, _ []float64, nb *naiveBayes, w graph.NodeID) float64 {
 	return (nb.logS + nb.logR[w]) / float64(g.Degree(w))
 }
 

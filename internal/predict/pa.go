@@ -1,9 +1,8 @@
 package predict
 
 import (
-	"sort"
-
 	"linkpred/internal/graph"
+	"linkpred/internal/snapcache"
 )
 
 // paAlgorithm is Preferential Attachment: score(u,v) = deg(u) * deg(v).
@@ -90,18 +89,9 @@ func (paAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	if n < 2 || k <= 0 {
 		return nil
 	}
-	// Nodes sorted by descending degree (stable on ID for determinism).
-	order := make([]graph.NodeID, n)
-	for i := range order {
-		order[i] = graph.NodeID(i)
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		da, db := g.Degree(order[a]), g.Degree(order[b])
-		if da != db {
-			return da > db
-		}
-		return order[a] < order[b]
-	})
+	// Nodes sorted by descending degree (stable on ID for determinism),
+	// shared through the snapshot cache with the other supernode consumers.
+	order := snapcache.For(g).DegreeOrder()
 	deg := func(i int32) int64 { return int64(g.Degree(order[i])) }
 
 	top := newTopKRec(k, opt)

@@ -1,6 +1,7 @@
 package predict
 
 import (
+	"fmt"
 	"math/rand"
 
 	"linkpred/internal/graph"
@@ -24,6 +25,8 @@ func (rescalAlgorithm) Name() string { return "Rescal" }
 
 // rescalFactors runs ALS and returns XR = X·R and XRt = X·Rᵀ along with X;
 // score(u,v) = XR_u · X_v + XRt_v · X_u... equivalently XR_u·X_v + XR_v·X_u.
+// The factors are cached per snapshot under the full parameter set, so
+// Predict and ScorePairs against the same cut share one ALS run.
 func rescalFactors(g *graph.Graph, opt Options) (xr, x *linalg.Dense) {
 	n := g.NumNodes()
 	rank := opt.RescalRank
@@ -45,7 +48,15 @@ func rescalFactors(g *graph.Graph, opt Options) (xr, x *linalg.Dense) {
 	if lambda <= 0 {
 		lambda = 10
 	}
-	a := linalg.FromGraph(g)
+	key := fmt.Sprintf("predict/rescal/r=%d,it=%d,lambda=%v,seed=%d", rank, iters, lambda, opt.Seed)
+	return factorPair(g, key, func() (*linalg.Dense, *linalg.Dense) {
+		return buildRescalFactors(g, opt, n, rank, iters, lambda)
+	})
+}
+
+func buildRescalFactors(g *graph.Graph, opt Options, n, rank, iters int, lambda float64) (xr, x *linalg.Dense) {
+	a := snapCSR(g)
+	workers := workerCount(opt)
 	// Spectral initialization: start X at the dominant eigenvectors of A
 	// (perturbed slightly to break symmetric ALS stationary points). This
 	// keeps ALS deterministic and anchored to the graph's strongest latent
@@ -53,7 +64,7 @@ func rescalFactors(g *graph.Graph, opt Options) (xr, x *linalg.Dense) {
 	// axes, which is the structure the paper credits for Rescal's YouTube
 	// performance (§4.2).
 	rng := rand.New(rand.NewSource(opt.Seed ^ 0x7e5ca1))
-	_, vecs := a.TopEig(rank, 30, opt.Seed^0x7e5ca1)
+	_, vecs := a.TopEig(rank, 30, opt.Seed^0x7e5ca1, workers)
 	x = vecs.Clone()
 	for i := range x.Data {
 		x.Data[i] += rng.NormFloat64() * 1e-3
@@ -62,14 +73,14 @@ func rescalFactors(g *graph.Graph, opt Options) (xr, x *linalg.Dense) {
 	ax := linalg.NewDense(n, rank)
 	for it := 0; it < iters; it++ {
 		// R update: R = (XᵀX + λI)⁻¹ XᵀAX (XᵀX + λI)⁻¹.
-		xtx := linalg.MatMul(x.T(), x)
+		xtx := x.T().MatMul(x, workers)
 		xtx.AddDiag(lambda)
-		a.MulDense(x, ax)
-		xtax := linalg.MatMul(x.T(), ax)
+		a.MulDense(x, ax, workers)
+		xtax := x.T().MatMul(ax, workers)
 		tmp := linalg.CholSolve(xtx, xtax)     // (XᵀX+λI)⁻¹ XᵀAX
 		r = linalg.CholSolve(xtx, tmp.T()).T() // ... (XᵀX+λI)⁻¹, using symmetry
 		// X update: X = [AX(R + Rᵀ)] [R C Rᵀ + Rᵀ C R + λI]⁻¹ with C = XᵀX.
-		c := linalg.MatMul(x.T(), x)
+		c := x.T().MatMul(x, workers)
 		rcrt := linalg.MatMul(linalg.MatMul(r, c), r.T())
 		rtcr := linalg.MatMul(linalg.MatMul(r.T(), c), r)
 		s := linalg.NewDense(rank, rank)
@@ -83,11 +94,11 @@ func rescalFactors(g *graph.Graph, opt Options) (xr, x *linalg.Dense) {
 				rrt.Set(i, j, r.At(i, j)+r.At(j, i))
 			}
 		}
-		a.MulDense(x, ax)
-		b := linalg.MatMul(ax, rrt)
+		a.MulDense(x, ax, workers)
+		b := ax.MatMul(rrt, workers)
 		x = linalg.CholSolve(s, b.T()).T()
 	}
-	return linalg.MatMul(x, r), x
+	return x.MatMul(r, workers), x
 }
 
 // rescalScore is XR_u · X_v + XR_v · X_u.
@@ -100,7 +111,8 @@ func (rescalAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	r := beginRun("Rescal", opPredict)
 	defer r.end()
 	opt.rec = r
-	// ALS runs once (serial); the factors are read-only across workers.
+	// ALS runs once (parallel, cached per snapshot); the factors are
+	// read-only across workers.
 	xr, x := rescalFactors(g, opt)
 	return predictGlobal(g, k, opt, func(u, v graph.NodeID) float64 {
 		return rescalScore(xr, x, u, v)

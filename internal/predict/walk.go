@@ -1,7 +1,8 @@
 package predict
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"linkpred/internal/graph"
 )
@@ -123,6 +124,124 @@ func (lrwAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []floa
 	return out
 }
 
+// srwAlgorithm is the Superposed Random Walk index [Liu & Lü 2010], LRW's
+// companion in the survey catalogue: the LRW scores summed over every walk
+// length 1..m, which rewards targets reachable both early and repeatedly:
+//
+//	SRW(u,v) = Σ_{l=1..m} LRW_l(u,v).
+//
+// The same degree-reversibility argument that collapses LRW to one
+// propagation direction holds per step, so one walk from the lower endpoint
+// suffices here too.
+type srwAlgorithm struct{}
+
+// SRW is the Superposed Random Walk survey extension.
+var SRW Algorithm = srwAlgorithm{}
+
+func (srwAlgorithm) Name() string { return "SRW" }
+
+// srwScratch is one worker's propagation state plus the step accumulator.
+type srwScratch struct {
+	walk *walkScratch
+	acc  *sparseVec
+}
+
+func newSRWScratch(n int) *srwScratch {
+	return &srwScratch{walk: newWalkScratch(n), acc: newSparseVec(n)}
+}
+
+// srwDistribution fills s.acc with Σ_{l=1..m} π_u·(l) and returns it. The
+// accumulation order (per step, in touch order) is a fixed function of the
+// source, so results are worker-count independent.
+func srwDistribution(g *graph.Graph, u graph.NodeID, m int, s *srwScratch) *sparseVec {
+	s.acc.reset()
+	cur, next := s.walk.cur, s.walk.next
+	cur.reset()
+	cur.add(u, 1)
+	for step := 0; step < m; step++ {
+		next.reset()
+		propagateWalk(g, cur, next)
+		cur, next = next, cur
+		for _, v := range cur.touched {
+			s.acc.add(v, cur.val[v])
+		}
+	}
+	s.walk.cur, s.walk.next = cur, next
+	return s.acc
+}
+
+func (srwAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
+	validateOptions(opt)
+	r := beginRun("SRW", opPredict)
+	defer r.end()
+	opt.rec = r
+	n := g.NumNodes()
+	edges := float64(g.NumEdges())
+	if edges == 0 {
+		return nil
+	}
+	m := steps(opt)
+	workers := workerCount(opt)
+	parts := make([]*topK, workers)
+	scratch := make([]*srwScratch, workers)
+	shardRange(n, workers, func(wk, lo, hi int) {
+		if parts[wk] == nil {
+			parts[wk] = newTopKRec(k, opt)
+			scratch[wk] = newSRWScratch(n)
+		}
+		opt.rec.addNodes(int64(hi - lo))
+		top, s := parts[wk], scratch[wk]
+		for u := lo; u < hi; u++ {
+			uid := graph.NodeID(u)
+			du := float64(g.Degree(uid))
+			if du == 0 {
+				continue
+			}
+			acc := srwDistribution(g, uid, m, s)
+			for _, v := range acc.touched {
+				if v <= uid || g.HasEdge(uid, v) {
+					continue
+				}
+				top.Add(uid, v, du*acc.val[v]/edges)
+			}
+		}
+	})
+	return mergeTopK(k, opt.Seed, parts).Result()
+}
+
+func (srwAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	r := beginRun("SRW", opScorePairs)
+	defer r.end()
+	r.addPairs(int64(len(pairs)))
+	n := g.NumNodes()
+	edges := float64(g.NumEdges())
+	m := steps(opt)
+	out := make([]float64, len(pairs))
+	if edges == 0 {
+		return out
+	}
+	idx := sourceSortedIndex(pairs, func(p Pair) graph.NodeID { return p.U })
+	workers := workerCount(opt)
+	scratch := make([]*srwScratch, workers)
+	shardRange(len(idx), workers, func(wk, lo, hi int) {
+		if scratch[wk] == nil {
+			scratch[wk] = newSRWScratch(n)
+		}
+		s := scratch[wk]
+		var acc *sparseVec
+		curU := graph.NodeID(-1)
+		for _, i := range idx[lo:hi] {
+			p := pairs[i]
+			if p.U != curU || acc == nil {
+				curU = p.U
+				acc = srwDistribution(g, curU, m, s)
+			}
+			out[i] = float64(g.Degree(p.U)) * acc.val[p.V] / edges
+		}
+	})
+	return out
+}
+
 // pprAlgorithm is Personalized PageRank: score(u,v) = π_uv + π_vu with
 // restart probability α, estimated with the Andersen-Chung-Lang forward-push
 // local approximation. Predict accumulates π contributions from every
@@ -229,7 +348,18 @@ func (pprAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 				hits = append(hits, hit{v: v, s: s.p.val[v]})
 			}
 			if len(hits) > pprPerSource {
-				sort.Slice(hits, func(a, b int) bool { return hits[a].s > hits[b].s })
+				// Total order (score desc, target asc) so the truncated set
+				// is independent of the sort implementation, not only of the
+				// worker count.
+				slices.SortFunc(hits, func(a, b hit) int {
+					if a.s != b.s {
+						if a.s > b.s {
+							return -1
+						}
+						return 1
+					}
+					return cmp.Compare(a.v, b.v)
+				})
 				hits = hits[:pprPerSource]
 			}
 			for _, h := range hits {
