@@ -1,0 +1,116 @@
+// Command linkpredd is the live link-prediction server. It ingests
+// timestamped edge events over HTTP, folds them into a growing trace via
+// the incremental snapshot builder, publishes immutable snapshots on a
+// configurable cadence, and answers top-k and pair-score queries from a
+// bounded worker pool with per-request deadlines, coalesced pair-score
+// sweeps, backpressure, and graceful degradation of latent-family
+// algorithms under load.
+//
+// Usage:
+//
+//	linkpredd -addr :8080
+//	linkpredd -addr :8080 -trace renren.trace            # warm start
+//	linkpredd -snapshot-every 256 -workers 4 -queue 512
+//	linkpredd -degrade-p95 100ms -recover-after 32
+//
+// API (see internal/serve and DESIGN.md §9):
+//
+//	GET  /predict?alg=CN&k=50[&timeout_ms=200]
+//	POST /score   {"alg":"AA","pairs":[[u,v],...]}
+//	POST /ingest  {"events":[{"u":1,"v":2,"t":10},...]}
+//	POST /flush
+//	GET  /healthz
+//	GET  /metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"linkpred/internal/graph"
+	"linkpred/internal/obs"
+	"linkpred/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	tracePath := flag.String("trace", "", "warm-start trace file written by tracegen (optional)")
+	snapshotEvery := flag.Int("snapshot-every", 512, "publish a snapshot every N accepted edges")
+	workers := flag.Int("workers", 2, "scoring worker pool size")
+	engineWorkers := flag.Int("engine-workers", 1, "engine parallelism per request")
+	queue := flag.Int("queue", 256, "request queue bound (full queue returns 429)")
+	batch := flag.Int("batch", 16, "max same-algorithm score requests coalesced per sweep")
+	warm := flag.Bool("warm", true, "prebuild snapshot artifacts off the request path after publish")
+	degradeP95 := flag.Duration("degrade-p95", 250*time.Millisecond, "rolling p95 latency that trips degradation")
+	degradeQueue := flag.Int("degrade-queue", 0, "queue depth that trips degradation (0 = 3/4 of -queue)")
+	recoverAfter := flag.Int("recover-after", 16, "consecutive healthy sweeps before the latent path re-enables")
+	noDegrade := flag.Bool("no-degrade", false, "disable graceful degradation")
+	seed := flag.Int64("seed", 1, "tie-break seed (fixes ranked output across restarts)")
+	obsOn := flag.Bool("obs", true, "enable telemetry counters (served at /metrics)")
+	flag.Parse()
+
+	obs.Enable(*obsOn)
+
+	var tr *graph.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		tr, err = graph.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("linkpredd: warm start from %s: %d nodes, %d edges\n", *tracePath, tr.NumNodes(), tr.NumEdges())
+	}
+
+	cfg := serve.Config{
+		SnapshotEvery: *snapshotEvery,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		MaxBatch:      *batch,
+		Warm:          *warm,
+		Trace:         tr,
+		Degrade: serve.DegradeConfig{
+			P95:          *degradeP95,
+			QueueDepth:   *degradeQueue,
+			RecoverAfter: *recoverAfter,
+			Disabled:     *noDegrade,
+		},
+	}
+	cfg.Opt.Seed = *seed
+	cfg.Opt.Workers = *engineWorkers
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("linkpredd: serving on %s (snapshot every %d edges, %d workers, queue %d)\n",
+		*addr, *snapshotEvery, *workers, *queue)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fail(err)
+	case sig := <-sigc:
+		fmt.Printf("linkpredd: %v, shutting down\n", sig)
+		hs.Close()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "linkpredd:", err)
+	os.Exit(1)
+}

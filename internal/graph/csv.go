@@ -22,11 +22,23 @@ func ReadCSV(r io.Reader, name string) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	type rawEdge struct {
-		u, v int64
+		u, v NodeID
 		t    int64
 	}
 	var raws []rawEdge
-	maxID := int64(-1)
+	// External IDs are remapped densely at parse time (first-seen order);
+	// Sort below re-derives the final arrival-order mapping. Allocating
+	// Arrival at maxID+1 instead would let a single hostile line like
+	// "0 2147483646" demand a multi-gigabyte slice (FuzzTraceParse).
+	idmap := make(map[int64]NodeID)
+	dense := func(id int64) NodeID {
+		d, ok := idmap[id]
+		if !ok {
+			d = NodeID(len(idmap))
+			idmap[id] = d
+		}
+		return d
+	}
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -58,13 +70,10 @@ func ReadCSV(r io.Reader, name string) (*Trace, error) {
 			}
 			t = int64(tf)
 		}
-		raws = append(raws, rawEdge{u: u, v: v, t: t})
-		if u > maxID {
-			maxID = u
+		if u == v {
+			continue // self loops carry no link-prediction signal
 		}
-		if v > maxID {
-			maxID = v
-		}
+		raws = append(raws, rawEdge{u: dense(u), v: dense(v), t: t})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("graph: read %s: %w", name, err)
@@ -72,15 +81,9 @@ func ReadCSV(r io.Reader, name string) (*Trace, error) {
 	if len(raws) == 0 {
 		return nil, fmt.Errorf("graph: %s contains no edges", name)
 	}
-	if maxID >= 1<<31 {
-		return nil, fmt.Errorf("graph: node id %d exceeds int32", maxID)
-	}
-	loose := &Trace{Name: name, Arrival: make([]int64, maxID+1)}
+	loose := &Trace{Name: name, Arrival: make([]int64, len(idmap))}
 	for _, e := range raws {
-		if e.u == e.v {
-			continue
-		}
-		loose.Edges = append(loose.Edges, Edge{U: NodeID(e.u), V: NodeID(e.v), Time: e.t})
+		loose.Edges = append(loose.Edges, Edge{U: e.u, V: e.v, Time: e.t})
 	}
 	// Sort remaps IDs densely in first-touch order and validates.
 	out := loose.Sort()

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceParse hammers the CSV trace parser with arbitrary bytes. The
+// invariant: whatever ReadCSV accepts must be a fully valid trace — it
+// passes Validate (time-sorted edges, non-decreasing arrivals, no edge
+// predating its endpoints), snapshots build without panicking, the
+// incremental builder agrees with the batch snapshot path, and the trace
+// round-trips through WriteCSV. Anything ReadCSV rejects must be rejected
+// with an error, never a panic or an absurd allocation (the dense-remap
+// guard: a single "0 2147483646" line must not demand a multi-gigabyte
+// arrival slice).
+func FuzzTraceParse(f *testing.F) {
+	f.Add([]byte("0 1 10\n1 2 20\n2 3 30\n"))
+	f.Add([]byte("# comment\n% also comment\n5,9,100\n9,7,100\n"))
+	f.Add([]byte("3\t4\t1.5e3\n4\t5\t2e3\n"))
+	f.Add([]byte("0 1\n1 2\n"))                 // no timestamp column
+	f.Add([]byte("10 10 5\n10 11 6\n"))         // self loop line
+	f.Add([]byte("0 2147483646 1\n"))           // huge sparse ID
+	f.Add([]byte("1 2 \\N\n2 3 7\n"))           // null timestamp
+	f.Add([]byte("7;8;9\n8;9;10\n"))            // semicolon separator
+	f.Add([]byte("0 1 100\n1 2 50\n2 3 75\n"))  // unsorted timestamps
+	f.Add([]byte("-1 2 3\n"))                   // negative ID
+	f.Add([]byte("0 1 99999999999999999999\n")) // timestamp overflow
+	f.Add([]byte("1 2 3 4 5\n2 3 4 5 6\n"))     // extra columns
+	f.Add([]byte("a b c\n"))                    // non-numeric
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		tr, err := ReadCSV(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadCSV accepted an invalid trace: %v", err)
+		}
+		g := tr.SnapshotAtEdge(tr.NumEdges())
+		b := NewIncrementalBuilder(tr)
+		b.AtEdge(tr.NumEdges() / 2)
+		g2 := b.AtEdge(tr.NumEdges())
+		if g.NumNodes() != g2.NumNodes() || g.NumEdges() != g2.NumEdges() {
+			t.Fatalf("incremental snapshot (%d nodes, %d edges) disagrees with batch (%d nodes, %d edges)",
+				g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV of a valid trace: %v", err)
+		}
+		tr2, err := ReadCSV(&buf, "roundtrip")
+		if err != nil {
+			t.Fatalf("round-trip rejected: %v", err)
+		}
+		if tr2.NumEdges() != tr.NumEdges() || tr2.NumNodes() != tr.NumNodes() {
+			t.Fatalf("round-trip changed shape: %d/%d nodes, %d/%d edges",
+				tr.NumNodes(), tr2.NumNodes(), tr.NumEdges(), tr2.NumEdges())
+		}
+	})
+}
+
+// FuzzTraceAppend drives the live-ingest Append path with arbitrary event
+// streams: every accepted stream must leave the trace valid and
+// snapshot-buildable at any prefix, with the incremental builder agreeing.
+func FuzzTraceAppend(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 2, 2, 2, 0, 3})
+	f.Add([]byte{5, 0, 10, 0, 5, 10, 1, 2, 0})
+	f.Add([]byte{0, 0, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		if len(stream) > 3*512 {
+			return
+		}
+		tr := &Trace{Name: "fuzz-append"}
+		b := NewIncrementalBuilder(tr)
+		for i := 0; i+2 < len(stream); i += 3 {
+			u := NodeID(stream[i] % 64)
+			v := NodeID(stream[i+1] % 64)
+			tm := int64(stream[i+2])
+			if _, err := tr.Append(u, v, tm); err != nil {
+				continue // self loop or other rejection
+			}
+			if len(tr.Edges)%7 == 0 {
+				g := b.AtEdge(len(tr.Edges))
+				want := tr.SnapshotAtEdge(len(tr.Edges))
+				if g.NumNodes() != want.NumNodes() || g.NumEdges() != want.NumEdges() {
+					t.Fatalf("after %d events: incremental (%d nodes, %d edges) vs batch (%d, %d)",
+						len(tr.Edges), g.NumNodes(), g.NumEdges(), want.NumNodes(), want.NumEdges())
+				}
+			}
+		}
+		if err := tr.Validate(); len(tr.Edges) > 0 && err != nil {
+			t.Fatalf("Append left the trace invalid: %v", err)
+		}
+	})
+}

@@ -364,6 +364,12 @@ func TestTraceRoundTripQuick(t *testing.T) {
 				continue
 			}
 			tm += int64(rng.Intn(3))
+			// Edges may not predate their endpoints' arrival (Validate
+			// rejects such traces since the fuzz hardening: they would make
+			// nodesArrivedBy cut a snapshot below an endpoint and panic).
+			if a := max(arr[u], arr[v]); a > tm {
+				tm = a
+			}
 			edges = append(edges, Edge{U: u, V: v, Time: tm})
 		}
 		tr := &Trace{Name: "q", Arrival: arr, Edges: edges}

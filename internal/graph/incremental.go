@@ -34,6 +34,14 @@ func NewIncrementalBuilder(t *Trace) *IncrementalBuilder {
 	return &IncrementalBuilder{t: t}
 }
 
+// Applied returns the number of trace edges already folded into the
+// builder's adjacency — the edge count of the last emitted snapshot. Live
+// ingestion uses it to measure how far published snapshots lag the trace.
+func (b *IncrementalBuilder) Applied() int { return b.m }
+
+// Trace returns the trace this builder materializes snapshots of.
+func (b *IncrementalBuilder) Trace() *Trace { return b.t }
+
 // insert adds v to u's sorted row, returning false on duplicates.
 func (b *IncrementalBuilder) insert(u, v NodeID) bool {
 	row := b.adj[u]

@@ -41,9 +41,20 @@ func (t *Trace) Duration() int64 {
 }
 
 // Validate checks trace invariants: edge endpoints within range, timestamps
-// sorted, no self loops. Generators and loaders call this defensively.
+// sorted, no self loops, arrival times non-decreasing in node ID, and no
+// edge predating the arrival of either endpoint. The last two are the
+// invariants nodesArrivedBy's binary search and the snapshot builders rely
+// on — a trace violating them would make SnapshotAtEdge hand Build an edge
+// whose endpoint exceeds the node count and panic, which is why loaders
+// (including the fuzzed parsers) must reject such inputs here.
 func (t *Trace) Validate() error {
 	n := NodeID(len(t.Arrival))
+	for i := 1; i < len(t.Arrival); i++ {
+		if t.Arrival[i] < t.Arrival[i-1] {
+			return fmt.Errorf("trace %q: node %d arrives at %d before node %d at %d; arrivals must be non-decreasing in ID",
+				t.Name, i, t.Arrival[i], i-1, t.Arrival[i-1])
+		}
+	}
 	prev := int64(math.MinInt64)
 	for i, e := range t.Edges {
 		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
@@ -55,9 +66,56 @@ func (t *Trace) Validate() error {
 		if e.Time < prev {
 			return fmt.Errorf("trace %q: edge %d out of time order (%d < %d)", t.Name, i, e.Time, prev)
 		}
+		if t.Arrival[e.U] > e.Time || t.Arrival[e.V] > e.Time {
+			return fmt.Errorf("trace %q: edge %d at time %d predates an endpoint arrival (%d at %d, %d at %d)",
+				t.Name, i, e.Time, e.U, t.Arrival[e.U], e.V, t.Arrival[e.V])
+		}
 		prev = e.Time
 	}
 	return nil
+}
+
+// Append adds one live edge event to the trace in place, maintaining every
+// invariant Validate checks so the incremental snapshot builders stay safe:
+// timestamps earlier than the last event are clamped forward (live streams
+// deliver slightly out-of-order events; a sorted history cannot represent
+// them), and endpoints at or beyond NumNodes extend the ID space densely
+// with arrival set to the event time. It returns the edge as recorded.
+// Callers own ID remapping (external IDs must already be dense) and
+// synchronization — Append must not run concurrently with readers of the
+// trace, though snapshots already built from it are unaffected.
+func (t *Trace) Append(u, v NodeID, tm int64) (Edge, error) {
+	if u < 0 || v < 0 {
+		return Edge{}, fmt.Errorf("trace %q: negative node id (%d, %d)", t.Name, u, v)
+	}
+	if u == v {
+		return Edge{}, fmt.Errorf("trace %q: self loop on node %d", t.Name, u)
+	}
+	if n := len(t.Edges); n > 0 && tm < t.Edges[n-1].Time {
+		tm = t.Edges[n-1].Time
+	}
+	if top := int(max(u, v)); top >= len(t.Arrival) {
+		arr := tm
+		if n := len(t.Arrival); n > 0 && t.Arrival[n-1] > arr {
+			// A declared arrival may postdate the clamped event time; keep
+			// the per-ID monotonicity nodesArrivedBy requires.
+			arr = t.Arrival[n-1]
+		}
+		for len(t.Arrival) <= top {
+			t.Arrival = append(t.Arrival, arr)
+		}
+		// An endpoint whose arrival postdates the event would fail Validate;
+		// clamp the event forward instead of rejecting it.
+		if arr > tm {
+			tm = arr
+		}
+	}
+	if a := max(t.Arrival[u], t.Arrival[v]); a > tm {
+		tm = a
+	}
+	e := Edge{U: u, V: v, Time: tm}
+	t.Edges = append(t.Edges, e)
+	return e, nil
 }
 
 // nodesArrivedBy returns the count of nodes with Arrival <= tm, relying on

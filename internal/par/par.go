@@ -8,6 +8,7 @@
 package par
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -29,6 +30,82 @@ const chunksPerWorker = 8
 // locking). Ranges smaller than ShardMin run serially.
 func ShardRange(n, workers int, body func(worker, lo, hi int)) {
 	ShardRangeMin(n, workers, ShardMin, body)
+}
+
+// ShardRangeCtx is ShardRangeMin with cooperative cancellation: the chunk
+// claim loop checks ctx before every claim and stops claiming once the
+// context is cancelled, so a cancelled fan-out returns within one chunk of
+// work per worker. Chunks already claimed always run to completion — a chunk
+// is the cancellation granularity, which keeps the per-index work free of
+// cancellation checks and the determinism contract intact: a fan-out whose
+// context is never cancelled produces exactly the same per-index calls as
+// ShardRangeMin. The returned error is ctx.Err() when the range was cut
+// short, nil when every index ran. A nil or never-cancellable context takes
+// the uninstrumented ShardRangeMin path.
+func ShardRangeCtx(ctx context.Context, n, workers, min int, body func(worker, lo, hi int)) error {
+	if ctx == nil || ctx.Done() == nil {
+		ShardRangeMin(n, workers, min, body)
+		return nil
+	}
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	// The serial path is chunked too (unlike ShardRangeMin's single body
+	// call), so even a one-worker sweep honors the one-chunk cancellation
+	// bound.
+	if workers < 1 {
+		workers = 1
+	}
+	chunks := workers * chunksPerWorker
+	size := (n + chunks - 1) / chunks
+	if workers <= 1 || n < min {
+		for lo := 0; lo < n; lo += size {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			body(0, lo, minInt(lo+size, n))
+		}
+		return ctx.Err()
+	}
+	track := obs.Enabled()
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			claimed := int64(0)
+			for ctx.Err() == nil {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				lo := c * size
+				if lo >= n {
+					break
+				}
+				body(w, lo, minInt(lo+size, n))
+				claimed++
+			}
+			if track && claimed > 0 {
+				obs.AddWorkerChunks(w, claimed)
+				obs.GetCounter("engine/chunks_claimed").Add(claimed)
+				obs.GetHistogram("engine/chunks_per_worker").Observe(claimed)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if track {
+		obs.GetCounter("engine/shard_fanouts").Inc()
+	}
+	return ctx.Err()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // ShardRangeMin is ShardRange with an explicit serial-fallback threshold.

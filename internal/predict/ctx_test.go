@@ -1,0 +1,138 @@
+package predict
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"linkpred/internal/par"
+)
+
+// The engine's deadline contract: Options.Ctx is checked once per chunk
+// claim, so an expired context stops a sweep within one chunk of work, and
+// a live-but-never-cancelled context changes nothing — output stays
+// bit-identical to running without a context.
+
+// TestShardRangeCtxExpired checks that an already-expired context runs no
+// chunks at all, serial and parallel.
+func TestShardRangeCtxExpired(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		err := par.ShardRangeCtx(ctx, 10000, workers, 1, func(worker, lo, hi int) {
+			calls.Add(1)
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error from expired context", workers)
+		}
+		if calls.Load() != 0 {
+			t.Fatalf("workers=%d: %d chunks ran under an expired context", workers, calls.Load())
+		}
+	}
+}
+
+// TestShardRangeCtxCancelMidway cancels from inside the first chunk and
+// checks the bound: each in-flight worker may finish the chunk it already
+// claimed, but no worker claims another one.
+func TestShardRangeCtxCancelMidway(t *testing.T) {
+	const workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	err := par.ShardRangeCtx(ctx, 100000, workers, 1, func(worker, lo, hi int) {
+		if calls.Add(1) == 1 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("no error from cancelled context")
+	}
+	// One chunk triggered the cancel; at most workers-1 others were already
+	// claimed when it fired.
+	if got := calls.Load(); got > workers {
+		t.Fatalf("%d chunks ran after a first-chunk cancel; bound is %d", got, workers)
+	}
+	// The range has workers*8 chunks, so a completed sweep is impossible.
+}
+
+// TestShardRangeCtxNilMatchesPlain checks that a nil and a non-cancellable
+// context cover the full range exactly like ShardRangeMin.
+func TestShardRangeCtxNilMatchesPlain(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		var covered atomic.Int64
+		if err := par.ShardRangeCtx(ctx, 5000, 4, 1, func(worker, lo, hi int) {
+			covered.Add(int64(hi - lo))
+		}); err != nil {
+			t.Fatalf("ctx=%v: %v", ctx, err)
+		}
+		if covered.Load() != 5000 {
+			t.Fatalf("ctx=%v: covered %d of 5000", ctx, covered.Load())
+		}
+	}
+}
+
+// TestPredictLiveCtxBitIdentical pins the no-interference half of the
+// contract: a cancellable context that never fires leaves Predict and
+// ScorePairs bit-identical to the no-context run, across algorithm
+// families and worker counts.
+func TestPredictLiveCtxBitIdentical(t *testing.T) {
+	g := randomGraph(11, 80, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pairs := []Pair{{U: 0, V: 5}, {U: 3, V: 40}, {U: 7, V: 7}, {U: 60, V: 2}}
+	for _, name := range []string{"CN", "BAA", "Katz", "KatzSC", "Rescal", "PPR"} {
+		alg, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			plain := DefaultOptions()
+			plain.Workers = workers
+			withCtx := plain
+			withCtx.Ctx = ctx
+
+			want := alg.Predict(g, 20, plain)
+			got := alg.Predict(g, 20, withCtx)
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d pairs with ctx, %d without", name, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: rank %d ctx %+v, plain %+v", name, workers, i, got[i], want[i])
+				}
+			}
+
+			wantS := alg.ScorePairs(g, pairs, plain)
+			gotS := alg.ScorePairs(g, pairs, withCtx)
+			for i := range wantS {
+				if gotS[i] != wantS[i] {
+					t.Fatalf("%s workers=%d: score[%d] ctx %v, plain %v", name, workers, i, gotS[i], wantS[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictExpiredCtxReturns checks that an expired context makes the
+// fused local sweeps return promptly with correctly-sized (but partial,
+// caller-discarded) output instead of hanging or panicking.
+func TestPredictExpiredCtxReturns(t *testing.T) {
+	g := randomGraph(12, 120, 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := DefaultOptions()
+	opt.Workers = 4
+	opt.Ctx = ctx
+	for _, name := range []string{"CN", "AA", "Katz"} {
+		alg, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = alg.Predict(g, 20, opt)
+		pairs := []Pair{{U: 0, V: 1}, {U: 2, V: 3}}
+		if got := alg.ScorePairs(g, pairs, opt); len(got) != len(pairs) {
+			t.Fatalf("%s: ScorePairs returned %d values for %d pairs", name, len(got), len(pairs))
+		}
+	}
+}

@@ -172,7 +172,7 @@ func TestShardRangeCoversRange(t *testing.T) {
 		{0, 4}, {1, 4}, {7, 1}, {100, 3}, {shardMin + 50, 4}, {1000, 16}, {5, 100},
 	} {
 		counts := make([]int32, tc.n)
-		shardRange(tc.n, tc.workers, func(_, lo, hi int) {
+		shardRange(Options{}, tc.n, tc.workers, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				counts[i]++
 			}

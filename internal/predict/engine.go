@@ -37,11 +37,13 @@ func workerCount(opt Options) int {
 const shardMin = par.ShardMin
 
 // shardRange fans [0, n) out over workers goroutines with dynamic chunk
-// claiming; it is the package-local alias of par.ShardRange, which also
-// drives the linalg backend so both layers share one chunk-accounting
-// telemetry stream.
-func shardRange(n, workers int, body func(worker, lo, hi int)) {
-	par.ShardRange(n, workers, body)
+// claiming; it wraps par.ShardRangeCtx, which also drives the linalg
+// backend so both layers share one chunk-accounting telemetry stream. The
+// call's Options carry the cancellation context: a cancelled opt.Ctx stops
+// the fan-out within one chunk claim per worker, after which the enclosing
+// Predict/ScorePairs returns partial data its caller must discard.
+func shardRange(opt Options, n, workers int, body func(worker, lo, hi int)) {
+	par.ShardRangeCtx(opt.Ctx, n, workers, par.ShardMin, body)
 }
 
 // mergeTopK folds per-worker selections into one selector. Entries carry
@@ -120,7 +122,7 @@ func twoHopParts(g *graph.Graph, k int, opt Options, visit func(u, v graph.NodeI
 	workers := workerCount(opt)
 	parts := make([]*topK, workers)
 	stamps := make([][]int32, workers)
-	shardRange(n, workers, func(w, lo, hi int) {
+	shardRange(opt, n, workers, func(w, lo, hi int) {
 		if parts[w] == nil {
 			parts[w] = newTopKRec(k, opt)
 			stamps[w] = newStamp(n)
@@ -148,7 +150,7 @@ func predictFusedTwoHop(g *graph.Graph, k int, opt Options, kern sweepKernel) []
 	workers := workerCount(opt)
 	parts := make([]*topK, workers)
 	scratch := make([]*sweepScratch, workers)
-	shardRange(n, workers, func(w, lo, hi int) {
+	shardRange(opt, n, workers, func(w, lo, hi int) {
 		if parts[w] == nil {
 			parts[w] = newTopKRec(k, opt)
 			scratch[w] = newSweepScratch(n)
@@ -180,7 +182,7 @@ func scorePairsFused(g *graph.Graph, pairs []Pair, opt Options, kern sweepKernel
 	n := g.NumNodes()
 	workers := workerCount(opt)
 	scratch := make([]*sweepScratch, workers)
-	shardRange(len(idx), workers, func(wk, lo, hi int) {
+	shardRange(opt, len(idx), workers, func(wk, lo, hi int) {
 		if scratch[wk] == nil {
 			scratch[wk] = newSweepScratch(n)
 		}

@@ -1,0 +1,91 @@
+package predict
+
+import (
+	"testing"
+
+	"linkpred/internal/graph"
+)
+
+// fuzzGraph decodes an arbitrary byte string into a small graph: node
+// count from the length, edges from consecutive byte pairs. Self loops and
+// duplicates are left in deliberately — Build must drop them.
+func fuzzGraph(edges []byte) *graph.Graph {
+	n := 8 + len(edges)%56
+	var es []graph.Edge
+	for i := 0; i+1 < len(edges); i += 2 {
+		u := graph.NodeID(int(edges[i]) % n)
+		v := graph.NodeID(int(edges[i+1]) % n)
+		es = append(es, graph.Edge{U: u, V: v})
+	}
+	return graph.Build(n, es)
+}
+
+// fuzzPairs decodes a query batch: arbitrary order, self pairs and
+// non-canonical (U > V) pairs included, exactly what a hostile /score
+// caller can submit.
+func fuzzPairs(raw []byte, n int) []Pair {
+	var pairs []Pair
+	for i := 0; i+1 < len(raw); i += 2 {
+		pairs = append(pairs, Pair{
+			U: graph.NodeID(int(raw[i]) % n),
+			V: graph.NodeID(int(raw[i+1]) % n),
+		})
+	}
+	return pairs
+}
+
+// FuzzScorePairs cross-checks the fused zero-allocation sweep kernels
+// against the per-pair intersection reference on arbitrary graphs and
+// query batches: bit-identical score vectors and top-k output for every
+// local metric, at the serial and a parallel worker count. This is the
+// property the serving layer's batching correctness rests on — coalescing
+// requests into one sweep is only invisible if per-pair scores never
+// depend on batch composition or worker count.
+func FuzzScorePairs(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 3, 4, 0, 2}, []byte{0, 3, 1, 4, 2, 2, 4, 0}, byte(0), byte(2))
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 1, 2, 1, 3, 2, 3}, []byte{0, 1, 3, 0, 2, 1}, byte(2), byte(4))
+	f.Add([]byte{5, 9, 9, 12, 12, 5, 1, 7}, []byte{5, 12, 9, 9, 7, 1, 0, 0}, byte(7), byte(3))
+	f.Add([]byte{}, []byte{0, 1}, byte(3), byte(1))
+	f.Fuzz(func(t *testing.T, edgeRaw, pairRaw []byte, algPick, workerPick byte) {
+		if len(edgeRaw) > 1<<12 || len(pairRaw) > 1<<12 {
+			return
+		}
+		g := fuzzGraph(edgeRaw)
+		pairs := fuzzPairs(pairRaw, g.NumNodes())
+		if len(pairs) == 0 {
+			return
+		}
+		metrics := fusedMetrics()
+		m := metrics[int(algPick)%len(metrics)]
+		opt := DefaultOptions()
+		opt.Workers = 1
+		want := m.referenceScorePairs(g, pairs, opt)
+		for _, w := range []int{1, 2 + int(workerPick)%6} {
+			opt.Workers = w
+			got := m.ScorePairs(g, pairs, opt)
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d scores for %d pairs (reference %d)",
+					m.name, w, len(got), len(pairs), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: score[%d]=%v, reference %v (pair %+v, n=%d)",
+						m.name, w, i, got[i], want[i], pairs[i], g.NumNodes())
+				}
+			}
+		}
+		const k = 10
+		opt.Workers = 1
+		wantTop := m.referencePredict(g, k, opt)
+		opt.Workers = 2 + int(workerPick)%6
+		gotTop := m.Predict(g, k, opt)
+		if len(gotTop) != len(wantTop) {
+			t.Fatalf("%s: fused Predict returned %d pairs, reference %d", m.name, len(gotTop), len(wantTop))
+		}
+		for i := range wantTop {
+			if gotTop[i] != wantTop[i] {
+				t.Fatalf("%s: rank %d fused %+v, reference %+v", m.name, i, gotTop[i], wantTop[i])
+			}
+		}
+	})
+}

@@ -143,7 +143,7 @@ func predictGlobal(g *graph.Graph, k int, opt Options, score func(u, v graph.Nod
 	workers := workerCount(opt)
 	blockParts := make([]*topK, workers)
 	stamps := make([][]int32, workers)
-	par.ShardRangeMin(len(blk.Order), workers, 1, func(wk, lo, hi int) {
+	par.ShardRangeCtx(opt.Ctx, len(blk.Order), workers, 1, func(wk, lo, hi int) {
 		if blockParts[wk] == nil {
 			blockParts[wk] = newTopKRec(k, opt)
 			stamps[wk] = newStamp(n)

@@ -77,7 +77,7 @@ func (katzLR) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
 	r.addPairs(int64(len(pairs)))
 	scaled, raw := katzFactors(g, opt)
 	out := make([]float64, len(pairs))
-	shardRange(len(pairs), workerCount(opt), func(_, lo, hi int) {
+	shardRange(opt, len(pairs), workerCount(opt), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			p := pairs[i]
 			out[i] = linalg.Dot(scaled.Row(int(p.U)), raw.Row(int(p.V)))
@@ -115,8 +115,12 @@ func katzSCFactors(g *graph.Graph, opt Options) (p, c *linalg.Dense) {
 		maxLen = 4
 	}
 	key := fmt.Sprintf("predict/katzsc/L=%d,len=%d,beta=%v,seed=%d", L, maxLen, opt.KatzBeta, opt.Seed)
+	// The build runs context-free: the factors are cached per snapshot and
+	// shared across callers, so a request deadline must not truncate them.
+	bopt := opt
+	bopt.Ctx = nil
 	return factorPair(g, key, func() (*linalg.Dense, *linalg.Dense) {
-		return buildKatzSCFactors(g, opt, n, L, maxLen)
+		return buildKatzSCFactors(g, bopt, n, L, maxLen)
 	})
 }
 
@@ -128,7 +132,7 @@ func buildKatzSCFactors(g *graph.Graph, opt Options, n, L, maxLen int) (p, c *li
 	c = linalg.NewDense(n, L)
 	workers := workerCount(opt)
 	scratch := make([]*katzScratch, workers)
-	shardRange(len(landmarks), workers, func(wk, lo, hi int) {
+	shardRange(opt, len(landmarks), workers, func(wk, lo, hi int) {
 		if scratch[wk] == nil {
 			scratch[wk] = newKatzScratch(n)
 		}
@@ -209,7 +213,7 @@ func (katzSC) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
 	r.addPairs(int64(len(pairs)))
 	p, c := katzSCFactors(g, opt)
 	out := make([]float64, len(pairs))
-	shardRange(len(pairs), workerCount(opt), func(_, lo, hi int) {
+	shardRange(opt, len(pairs), workerCount(opt), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			pr := pairs[i]
 			out[i] = linalg.Dot(p.Row(int(pr.U)), c.Row(int(pr.V)))

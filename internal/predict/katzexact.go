@@ -64,7 +64,7 @@ func (katzExactT) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	workers := workerCount(opt)
 	parts := make([]*topK, workers)
 	scratch := make([]*katzScratch, workers)
-	shardRange(n, workers, func(wk, lo, hi int) {
+	shardRange(opt, n, workers, func(wk, lo, hi int) {
 		if parts[wk] == nil {
 			parts[wk] = newTopKRec(k, opt)
 			scratch[wk] = newKatzScratch(n)
@@ -98,7 +98,7 @@ func (katzExactT) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float6
 	maxLen := katzLen(opt)
 	workers := workerCount(opt)
 	scratch := make([]*katzScratch, workers)
-	shardRange(len(idx), workers, func(wk, lo, hi int) {
+	shardRange(opt, len(idx), workers, func(wk, lo, hi int) {
 		if scratch[wk] == nil {
 			scratch[wk] = newKatzScratch(n)
 		}

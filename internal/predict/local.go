@@ -60,7 +60,7 @@ func (m *localMetric) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	// read-only across workers.
 	var nb *naiveBayes
 	if m.usesNB {
-		nb = newNaiveBayes(g, workerCount(opt))
+		nb = newNaiveBayes(g, opt)
 	}
 	return predictFusedTwoHop(g, k, opt, m.kernel(g, nb))
 }
@@ -70,7 +70,7 @@ func (m *localMetric) Predict(g *graph.Graph, k int, opt Options) []Pair {
 func (m *localMetric) referencePredict(g *graph.Graph, k int, opt Options) []Pair {
 	var nb *naiveBayes
 	if m.usesNB {
-		nb = newNaiveBayes(g, workerCount(opt))
+		nb = newNaiveBayes(g, opt)
 	}
 	return predictTwoHop(g, k, opt, func(u, v graph.NodeID, top *topK) {
 		top.Add(u, v, m.score(g, nb, u, v, g.CommonNeighbors(u, v)))
@@ -83,7 +83,7 @@ func (m *localMetric) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []fl
 	r.addPairs(int64(len(pairs)))
 	var nb *naiveBayes
 	if m.usesNB {
-		nb = newNaiveBayes(g, workerCount(opt))
+		nb = newNaiveBayes(g, opt)
 	}
 	return scorePairsFused(g, pairs, opt, m.kernel(g, nb))
 }
@@ -93,10 +93,10 @@ func (m *localMetric) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []fl
 func (m *localMetric) referenceScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
 	var nb *naiveBayes
 	if m.usesNB {
-		nb = newNaiveBayes(g, workerCount(opt))
+		nb = newNaiveBayes(g, opt)
 	}
 	out := make([]float64, len(pairs))
-	shardRange(len(pairs), workerCount(opt), func(_, lo, hi int) {
+	shardRange(opt, len(pairs), workerCount(opt), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			p := pairs[i]
 			common := g.CommonNeighbors(p.U, p.V)
@@ -118,13 +118,14 @@ type naiveBayes struct {
 	logR []float64
 }
 
-func newNaiveBayes(g *graph.Graph, workers int) *naiveBayes {
+func newNaiveBayes(g *graph.Graph, opt Options) *naiveBayes {
 	n := g.NumNodes()
+	workers := workerCount(opt)
 	// The triangle count is sharded by edge source; each worker accumulates
 	// into a private array and the integer sums merge exactly, so the
 	// statistics are independent of worker count.
 	partTri := make([][]int64, workers)
-	shardRange(n, workers, func(wk, lo, hi int) {
+	shardRange(opt, n, workers, func(wk, lo, hi int) {
 		tri := partTri[wk]
 		if tri == nil {
 			tri = make([]int64, n)

@@ -24,7 +24,7 @@ func (paAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float
 	defer r.end()
 	r.addPairs(int64(len(pairs)))
 	out := make([]float64, len(pairs))
-	shardRange(len(pairs), workerCount(opt), func(_, lo, hi int) {
+	shardRange(opt, len(pairs), workerCount(opt), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = float64(g.Degree(pairs[i].U)) * float64(g.Degree(pairs[i].V))
 		}

@@ -44,7 +44,7 @@ func (spAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	bfsParts := make([]*topK, workers)
 	dists := make([][]int32, workers)
 	queues := make([][]graph.NodeID, workers)
-	shardRange(n, workers, func(wk, lo, hi int) {
+	shardRange(opt, n, workers, func(wk, lo, hi int) {
 		if bfsParts[wk] == nil {
 			bfsParts[wk] = newTopKRec(k, opt)
 			dists[wk] = make([]int32, n)
@@ -98,7 +98,7 @@ func (spAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float
 	workers := workerCount(opt)
 	dists := make([][]int32, workers)
 	queues := make([][]graph.NodeID, workers)
-	shardRange(len(idx), workers, func(wk, lo, hi int) {
+	shardRange(opt, len(idx), workers, func(wk, lo, hi int) {
 		if dists[wk] == nil {
 			dists[wk] = make([]int32, n)
 		}
@@ -182,7 +182,7 @@ func (lpAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	workers := workerCount(opt)
 	parts := make([]*topK, workers)
 	scratch := make([]*lpScratch, workers)
-	shardRange(n, workers, func(wk, lo, hi int) {
+	shardRange(opt, n, workers, func(wk, lo, hi int) {
 		if parts[wk] == nil {
 			parts[wk] = newTopKRec(k, opt)
 			scratch[wk] = newLPScratch(n)
@@ -225,7 +225,7 @@ func (lpAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float
 	n := g.NumNodes()
 	workers := workerCount(opt)
 	scratch := make([]*lpScratch, workers)
-	shardRange(len(idx), workers, func(wk, lo, hi int) {
+	shardRange(opt, len(idx), workers, func(wk, lo, hi int) {
 		if scratch[wk] == nil {
 			scratch[wk] = newLPScratch(n)
 		}

@@ -17,6 +17,7 @@
 package predict
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -56,6 +57,18 @@ type Options struct {
 	// (0 = runtime.GOMAXPROCS). Output is bit-identical for every worker
 	// count; validateOptions rejects negative values.
 	Workers int
+
+	// Ctx, when non-nil and cancellable, bounds in-flight work: the engine
+	// checks it once per chunk claim and stops claiming further chunks after
+	// cancellation, so a cancelled call returns within one chunk of work per
+	// worker. The results of a cancelled call are partial and must be
+	// discarded — callers own the Ctx.Err() check after the call returns.
+	// Cached per-snapshot artifact builds (latent factor matrices) ignore
+	// the context deliberately: they are shared across callers through
+	// snapcache, and aborting one mid-build would poison every later request
+	// against the same snapshot. A nil or never-cancelled Ctx leaves output
+	// bit-identical to the context-free path.
+	Ctx context.Context
 
 	// KatzBeta is the Katz attenuation factor (paper: 0.001).
 	KatzBeta float64

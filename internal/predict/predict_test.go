@@ -68,7 +68,7 @@ func TestLocalMetricValues(t *testing.T) {
 
 func TestNaiveBayesStats(t *testing.T) {
 	g := kite()
-	nb := newNaiveBayes(g, 1)
+	nb := newNaiveBayes(g, Options{Workers: 1})
 	// s = 5*4/(2*6) - 1 = 10/6*... = 20/12 - 1 = 2/3.
 	wantLogS := math.Log(5.0*4.0/(2.0*6.0) - 1)
 	if math.Abs(nb.logS-wantLogS) > 1e-12 {

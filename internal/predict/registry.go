@@ -1,11 +1,16 @@
 package predict
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"linkpred/internal/graph"
 )
+
+// ErrUnknownAlgorithm is wrapped by ByName for unrecognized names, so
+// callers (e.g. the serving layer's HTTP 400 mapping) can errors.Is it.
+var ErrUnknownAlgorithm = errors.New("unknown algorithm")
 
 // All returns every implemented metric-based algorithm, including both Katz
 // approximations (the paper's 14 metrics of Table 3, with Katz counted once
@@ -44,7 +49,7 @@ func ByName(name string) (Algorithm, error) {
 			return a, nil
 		}
 	}
-	return nil, fmt.Errorf("predict: unknown algorithm %q", name)
+	return nil, fmt.Errorf("predict: %w %q", ErrUnknownAlgorithm, name)
 }
 
 // RandomPrediction draws k distinct unconnected pairs uniformly at random,

@@ -125,7 +125,7 @@ func (rescalAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []f
 	r.addPairs(int64(len(pairs)))
 	xr, x := rescalFactors(g, opt)
 	out := make([]float64, len(pairs))
-	shardRange(len(pairs), workerCount(opt), func(_, lo, hi int) {
+	shardRange(opt, len(pairs), workerCount(opt), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			p := pairs[i]
 			out[i] = rescalScore(xr, x, p.U, p.V)

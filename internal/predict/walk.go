@@ -66,7 +66,7 @@ func (lrwAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	workers := workerCount(opt)
 	parts := make([]*topK, workers)
 	scratch := make([]*walkScratch, workers)
-	shardRange(n, workers, func(wk, lo, hi int) {
+	shardRange(opt, n, workers, func(wk, lo, hi int) {
 		if parts[wk] == nil {
 			parts[wk] = newTopKRec(k, opt)
 			scratch[wk] = newWalkScratch(n)
@@ -105,7 +105,7 @@ func (lrwAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []floa
 	idx := sourceSortedIndex(pairs, func(p Pair) graph.NodeID { return p.U })
 	workers := workerCount(opt)
 	scratch := make([]*walkScratch, workers)
-	shardRange(len(idx), workers, func(wk, lo, hi int) {
+	shardRange(opt, len(idx), workers, func(wk, lo, hi int) {
 		if scratch[wk] == nil {
 			scratch[wk] = newWalkScratch(n)
 		}
@@ -184,7 +184,7 @@ func (srwAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	workers := workerCount(opt)
 	parts := make([]*topK, workers)
 	scratch := make([]*srwScratch, workers)
-	shardRange(n, workers, func(wk, lo, hi int) {
+	shardRange(opt, n, workers, func(wk, lo, hi int) {
 		if parts[wk] == nil {
 			parts[wk] = newTopKRec(k, opt)
 			scratch[wk] = newSRWScratch(n)
@@ -223,7 +223,7 @@ func (srwAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []floa
 	idx := sourceSortedIndex(pairs, func(p Pair) graph.NodeID { return p.U })
 	workers := workerCount(opt)
 	scratch := make([]*srwScratch, workers)
-	shardRange(len(idx), workers, func(wk, lo, hi int) {
+	shardRange(opt, len(idx), workers, func(wk, lo, hi int) {
 		if scratch[wk] == nil {
 			scratch[wk] = newSRWScratch(n)
 		}
@@ -326,7 +326,7 @@ func (pprAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	accs := make([]map[uint64]float64, workers)
 	scratch := make([]*pprScratch, workers)
 	hitBufs := make([][]hit, workers)
-	shardRange(n, workers, func(wk, lo, hi int) {
+	shardRange(opt, n, workers, func(wk, lo, hi int) {
 		if scratch[wk] == nil {
 			scratch[wk] = newPPRScratch(n)
 			accs[wk] = make(map[uint64]float64)
@@ -418,7 +418,7 @@ func (pprAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []floa
 			return pr.U
 		}
 		idx := sourceSortedIndex(pairs, src)
-		shardRange(len(idx), workers, func(wk, lo, hi int) {
+		shardRange(opt, len(idx), workers, func(wk, lo, hi int) {
 			if scratch[wk] == nil {
 				scratch[wk] = newPPRScratch(n)
 			}

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"linkpred/internal/graph"
+	"linkpred/internal/obs"
+	"linkpred/internal/predict"
+)
+
+// chunkAlg simulates a scorer that works in fixed-duration chunks and
+// honors Options.Ctx between chunks — the same cancellation granularity the
+// real engine has (one chunk claim). It lets the deadline tests control
+// sweep duration precisely on a tiny graph.
+type chunkAlg struct {
+	chunk  time.Duration
+	chunks int
+}
+
+func (a *chunkAlg) Name() string { return "Chunky" }
+
+func (a *chunkAlg) run(ctx context.Context) {
+	for i := 0; i < a.chunks; i++ {
+		if ctx != nil && ctx.Err() != nil {
+			return
+		}
+		time.Sleep(a.chunk)
+	}
+}
+
+func (a *chunkAlg) Predict(g *graph.Graph, k int, opt predict.Options) []predict.Pair {
+	a.run(opt.Ctx)
+	return []predict.Pair{{U: 0, V: 1, Score: 1}}
+}
+
+func (a *chunkAlg) ScorePairs(g *graph.Graph, pairs []predict.Pair, opt predict.Options) []float64 {
+	a.run(opt.Ctx)
+	return make([]float64, len(pairs))
+}
+
+// TestDeadlines is the table-driven deadline contract: expired or
+// too-short contexts return context.DeadlineExceeded promptly — bounded by
+// one chunk of engine work, not the full sweep — ample ones succeed, and
+// the serve/deadline_exceeded counter advances exactly once per expired
+// request.
+func TestDeadlines(t *testing.T) {
+	obs.Enable(true)
+	t.Cleanup(func() { obs.Enable(false) })
+
+	const chunk = 20 * time.Millisecond
+	cases := []struct {
+		name    string
+		kind    reqKind
+		timeout time.Duration // 0 = already-cancelled context
+		chunks  int           // sweep length in chunks
+		wantErr error
+		// maxElapsed bounds the response time: deadline + one chunk + slack.
+		maxElapsed time.Duration
+	}{
+		{
+			name: "predict expired before service", kind: kindPredict,
+			timeout: 0, chunks: 50,
+			wantErr: context.Canceled, maxElapsed: chunk,
+		},
+		{
+			name: "predict expires mid sweep", kind: kindPredict,
+			timeout: 2 * chunk, chunks: 50,
+			wantErr: context.DeadlineExceeded, maxElapsed: 2*chunk + chunk + 250*time.Millisecond,
+		},
+		{
+			name: "predict ample deadline", kind: kindPredict,
+			timeout: 10 * time.Second, chunks: 2,
+			wantErr: nil, maxElapsed: 5 * time.Second,
+		},
+		{
+			name: "score expired before service", kind: kindScore,
+			timeout: 0, chunks: 50,
+			wantErr: context.Canceled, maxElapsed: chunk,
+		},
+		{
+			name: "score expires mid sweep", kind: kindScore,
+			timeout: 2 * chunk, chunks: 50,
+			wantErr: context.DeadlineExceeded, maxElapsed: 2*chunk + chunk + 250*time.Millisecond,
+		},
+		{
+			name: "score ample deadline", kind: kindScore,
+			timeout: 10 * time.Second, chunks: 2,
+			wantErr: nil, maxElapsed: 5 * time.Second,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			obs.Reset()
+			alg := &chunkAlg{chunk: chunk, chunks: tc.chunks}
+			s := newTestServer(t, Config{
+				Workers: 1,
+				Resolve: func(name string) (predict.Algorithm, error) {
+					if name == "Chunky" {
+						return alg, nil
+					}
+					return predict.ByName(name)
+				},
+			})
+			if _, _, err := s.Ingest([]Event{{U: 0, V: 1, T: 1}, {U: 1, V: 2, T: 2}}); err != nil {
+				t.Fatal(err)
+			}
+			s.Flush()
+
+			ctx := context.Background()
+			var cancel context.CancelFunc
+			if tc.timeout > 0 {
+				ctx, cancel = context.WithTimeout(ctx, tc.timeout)
+			} else {
+				ctx, cancel = context.WithCancel(ctx)
+				cancel() // expired before the request is even submitted
+			}
+			defer cancel()
+
+			start := time.Now()
+			var err error
+			if tc.kind == kindPredict {
+				_, err = s.Predict(ctx, "Chunky", 5)
+			} else {
+				_, err = s.Score(ctx, "Chunky", [][2]int64{{0, 2}})
+			}
+			elapsed := time.Since(start)
+
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if elapsed > tc.maxElapsed {
+				t.Errorf("took %v, deadline contract bounds it by %v", elapsed, tc.maxElapsed)
+			}
+			wantCount := int64(0)
+			if tc.wantErr != nil {
+				wantCount = 1
+			}
+			if got := obs.GetCounter("serve/deadline_exceeded").Value(); got != wantCount {
+				t.Errorf("serve/deadline_exceeded = %d, want %d", got, wantCount)
+			}
+		})
+	}
+}
+
+// TestDeadlineRealEngine drives a real latent sweep (Katz) with an
+// already-expired context through the full stack: the engine's per-chunk
+// context checks surface the deadline instead of completing the sweep.
+func TestDeadlineRealEngine(t *testing.T) {
+	obs.Enable(true)
+	t.Cleanup(func() { obs.Enable(false) })
+	obs.Reset()
+	tr := testTrace(t)
+	s := newTestServer(t, Config{Workers: 1})
+	if _, _, err := s.Ingest(traceEvents(tr)); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Predict(ctx, "Katz", 25); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := obs.GetCounter("serve/deadline_exceeded").Value(); got != 1 {
+		t.Fatalf("serve/deadline_exceeded = %d, want 1", got)
+	}
+	// The same request with a live context succeeds and matches offline.
+	res, err := s.Predict(context.Background(), "Katz", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustAlg(t, "Katz").Predict(s.Snapshot().Graph, 25, s.cfg.Opt)
+	if len(res.Pairs) != len(want) {
+		t.Fatalf("%d pairs, offline %d", len(res.Pairs), len(want))
+	}
+	for i, w := range want {
+		if res.Pairs[i].Score != w.Score {
+			t.Fatalf("rank %d score %v, offline %v", i, res.Pairs[i].Score, w.Score)
+		}
+	}
+}
+
+func mustAlg(t *testing.T, name string) predict.Algorithm {
+	t.Helper()
+	a, err := predict.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

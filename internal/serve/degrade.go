@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"linkpred/internal/obs"
+)
+
+// degrader is the graceful-degradation controller. Workers feed it one
+// observation per executed sweep (latency plus the queue depth at finish);
+// it maintains a rolling latency window and trips when the window's p95 or
+// the queue depth crosses its threshold. Recovery is hysteretic: the
+// latent path re-enables only after RecoverAfter consecutive healthy
+// observations, so a single fast request under sustained pressure cannot
+// flap the route.
+//
+// The degraded flag is read lock-free on every request (route); only the
+// observation path takes the mutex.
+type degrader struct {
+	p95Limit   time.Duration
+	queueLimit int
+	recover    int
+	disabled   bool
+
+	state atomic.Bool
+
+	mu      sync.Mutex
+	ring    []time.Duration
+	next    int
+	filled  int
+	healthy int
+	scratch []time.Duration
+}
+
+func newDegrader(cfg DegradeConfig, queueCap int) *degrader {
+	if cfg.P95 <= 0 {
+		cfg.P95 = 250 * time.Millisecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = queueCap * 3 / 4
+		if cfg.QueueDepth < 1 {
+			cfg.QueueDepth = 1
+		}
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 32
+	}
+	if cfg.RecoverAfter <= 0 {
+		cfg.RecoverAfter = 16
+	}
+	return &degrader{
+		p95Limit:   cfg.P95,
+		queueLimit: cfg.QueueDepth,
+		recover:    cfg.RecoverAfter,
+		disabled:   cfg.Disabled,
+		ring:       make([]time.Duration, cfg.Window),
+		scratch:    make([]time.Duration, 0, cfg.Window),
+	}
+}
+
+// degraded reports whether latent-family requests currently route to their
+// local-metric proxies.
+func (d *degrader) degraded() bool {
+	if d == nil || d.disabled {
+		return false
+	}
+	return d.state.Load()
+}
+
+// observe records one executed sweep and updates the route state.
+func (d *degrader) observe(lat time.Duration, queueLen int) {
+	if d.disabled {
+		return
+	}
+	d.mu.Lock()
+	d.ring[d.next] = lat
+	d.next = (d.next + 1) % len(d.ring)
+	if d.filled < len(d.ring) {
+		d.filled++
+	}
+	over := d.p95() > d.p95Limit || queueLen > d.queueLimit
+	switch {
+	case over:
+		d.healthy = 0
+		if !d.state.Load() {
+			d.state.Store(true)
+			if obs.Enabled() {
+				obs.GetCounter("serve/degrade_transitions").Inc()
+			}
+		}
+	case d.state.Load():
+		d.healthy++
+		if d.healthy >= d.recover {
+			d.healthy = 0
+			d.state.Store(false)
+		}
+	}
+	d.mu.Unlock()
+}
+
+// p95 computes the 95th percentile of the filled window. Callers hold d.mu.
+func (d *degrader) p95() time.Duration {
+	if d.filled == 0 {
+		return 0
+	}
+	d.scratch = append(d.scratch[:0], d.ring[:d.filled]...)
+	sort.Slice(d.scratch, func(i, j int) bool { return d.scratch[i] < d.scratch[j] })
+	idx := (d.filled*95 + 99) / 100
+	if idx > d.filled {
+		idx = d.filled
+	}
+	return d.scratch[idx-1]
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"linkpred/internal/obs"
+	"linkpred/internal/predict"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	GET  /predict?alg=CN&k=50[&timeout_ms=200]  — top-k ranked candidate links
+//	POST /score    {"alg":"AA","pairs":[[u,v],...][,"timeout_ms":200]}
+//	POST /ingest   {"events":[{"u":1,"v":2,"t":10},...]}
+//	POST /flush    — publish a snapshot of everything ingested so far
+//	GET  /healthz  — serving state
+//	GET  /metrics  — obs counter/histogram dump (JSON)
+//
+// Error mapping: unknown algorithm or malformed input → 400, queue full →
+// 429, request deadline → 504, aborted coalesced batch or closed server →
+// 503.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/score", s.handleScore)
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/flush", s.handleFlush)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", obs.Handler())
+	return mux
+}
+
+// httpError is the JSON error envelope.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// errStatus maps a serving error to its HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrBatchAborted), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, predict.ErrUnknownAlgorithm):
+		return http.StatusBadRequest
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// reqCtx derives the request context, applying an optional timeout_ms.
+func reqCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	if timeoutMS > 0 {
+		return context.WithTimeout(r.Context(), time.Duration(timeoutMS)*time.Millisecond)
+	}
+	return r.Context(), func() {}
+}
+
+func observeNS(name string, start time.Time) {
+	if obs.Enabled() {
+		obs.GetHistogram(name).Observe(time.Since(start).Nanoseconds())
+	}
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer observeNS("serve/http/predict_ns", start)
+	q := r.URL.Query()
+	alg := q.Get("alg")
+	if alg == "" {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "missing alg parameter"})
+		return
+	}
+	k := 50
+	if raw := q.Get("k"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad k %q", raw)})
+			return
+		}
+		k = v
+	}
+	var timeoutMS int64
+	if raw := q.Get("timeout_ms"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad timeout_ms %q", raw)})
+			return
+		}
+		timeoutMS = v
+	}
+	ctx, cancel := reqCtx(r, timeoutMS)
+	defer cancel()
+	res, err := s.Predict(ctx, alg, k)
+	if err != nil {
+		writeJSON(w, errStatus(err), httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+type scoreRequest struct {
+	Alg       string     `json:"alg"`
+	Pairs     [][2]int64 `json:"pairs"`
+	TimeoutMS int64      `json:"timeout_ms"`
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer observeNS("serve/http/score_ns", start)
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, httpError{Error: "POST required"})
+		return
+	}
+	var req scoreRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad score request: " + err.Error()})
+		return
+	}
+	if req.Alg == "" || len(req.Pairs) == 0 {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "alg and pairs are required"})
+		return
+	}
+	ctx, cancel := reqCtx(r, req.TimeoutMS)
+	defer cancel()
+	res, err := s.Score(ctx, req.Alg, req.Pairs)
+	if err != nil {
+		writeJSON(w, errStatus(err), httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+type ingestRequest struct {
+	Events []Event `json:"events"`
+}
+
+type ingestResponse struct {
+	Accepted    int   `json:"accepted"`
+	Rejected    int   `json:"rejected"`
+	SnapshotSeq int64 `json:"snapshot_seq"`
+	TraceEdges  int   `json:"trace_edges"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer observeNS("serve/http/ingest_ns", start)
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, httpError{Error: "POST required"})
+		return
+	}
+	var req ingestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad ingest request: " + err.Error()})
+		return
+	}
+	accepted, rejected, err := s.Ingest(req.Events)
+	if err != nil {
+		writeJSON(w, errStatus(err), httpError{Error: err.Error()})
+		return
+	}
+	h := s.Health()
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Accepted:    accepted,
+		Rejected:    rejected,
+		SnapshotSeq: h.SnapshotSeq,
+		TraceEdges:  h.TraceEdges,
+	})
+}
+
+type flushResponse struct {
+	SnapshotSeq   int64 `json:"snapshot_seq"`
+	SnapshotEdges int   `json:"snapshot_edges"`
+	Nodes         int   `json:"nodes"`
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, httpError{Error: "POST required"})
+		return
+	}
+	snap := s.Flush()
+	writeJSON(w, http.StatusOK, flushResponse{
+		SnapshotSeq:   snap.Seq,
+		SnapshotEdges: snap.Edges,
+		Nodes:         snap.Graph.NumNodes(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
+}

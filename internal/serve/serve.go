@@ -1,0 +1,742 @@
+// Package serve is the live prediction service: it ingests timestamped
+// edge events into a growing trace, publishes immutable snapshots on a
+// configurable cadence via atomic pointer swap, and answers top-k and
+// pair-score queries from a bounded worker pool.
+//
+// The serving contract, pinned by the test layer in this package:
+//
+//   - Snapshots are immutable and published atomically. Every response
+//     reports the snapshot (seq, edge count) it was computed against, and
+//     its payload is bit-identical to running the offline Predict /
+//     ScorePairs path on that same snapshot (TestServeRaceIntegration,
+//     TestGoldenEndToEnd).
+//   - Requests carry context deadlines. An expired context yields
+//     context.DeadlineExceeded promptly: the prediction engine checks the
+//     context once per chunk claim (predict.Options.Ctx), so a cancelled
+//     sweep stops within one chunk of work (TestDeadlines).
+//   - The request queue is bounded. A full queue rejects with
+//     ErrOverloaded (HTTP 429) instead of blocking the caller — load sheds
+//     at the front door, never as unbounded memory growth.
+//   - Same-algorithm pair-score requests waiting in the queue coalesce
+//     into one ScorePairs sweep (per-pair results are independent of batch
+//     composition, so coalescing is invisible in the payload).
+//   - Under pressure — rolling p95 latency or queue depth over threshold —
+//     latent-family requests (Katz, KatzSC, Rescal) degrade to their fused
+//     local-metric proxies and the response is flagged Degraded, with
+//     ServedBy naming the proxy. Recovery re-enables the latent path after
+//     a run of healthy observations (TestDegradationProperty).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"linkpred/internal/graph"
+	"linkpred/internal/obs"
+	"linkpred/internal/predict"
+)
+
+// Event is one timestamped edge-creation event in external ID space.
+// External IDs are arbitrary non-negative integers; the server remaps them
+// densely in first-seen order.
+type Event struct {
+	U int64 `json:"u"`
+	V int64 `json:"v"`
+	T int64 `json:"t"`
+}
+
+// Config parameterizes a Server. The zero value serves with defaults.
+type Config struct {
+	// SnapshotEvery publishes a new snapshot every N accepted edges
+	// (default 512). Explicit Flush publishes regardless of cadence.
+	SnapshotEvery int
+	// Workers is the scoring worker pool size (default 2). Each worker
+	// serves one request (or one coalesced batch) at a time.
+	Workers int
+	// QueueDepth bounds the request queue (default 256); a full queue
+	// rejects with ErrOverloaded.
+	QueueDepth int
+	// MaxBatch bounds how many queued same-algorithm score requests
+	// coalesce into one ScorePairs sweep (default 16; 1 disables).
+	MaxBatch int
+	// Opt carries the engine options for every query. A zero Opt takes
+	// predict.DefaultOptions; Opt.Workers is the per-request engine
+	// parallelism (default 1 — total concurrency is Workers × Opt.Workers).
+	Opt predict.Options
+	// Warm prebuilds the new snapshot's shared artifacts (CSR, degree
+	// order, latent factors) off the request path after each publish.
+	Warm bool
+	// WarmAlgorithms overrides which algorithms Warm prebuilds for
+	// (default: AA, BAA, Katz, KatzSC, Rescal).
+	WarmAlgorithms []string
+	// Degrade tunes the graceful-degradation controller.
+	Degrade DegradeConfig
+	// Trace warm-starts the server from an existing history; ownership of
+	// the trace transfers to the server. External IDs are the trace's own
+	// dense IDs.
+	Trace *graph.Trace
+	// OnPublish, when set, observes every snapshot immediately before it
+	// becomes visible to queries. It runs on the ingest path under the
+	// server's ingest lock: keep it fast and do not call back into the
+	// server.
+	OnPublish func(*Snapshot)
+	// Resolve overrides algorithm resolution (default predict.ByName).
+	// Tests inject slow or instrumented scorers through it; the
+	// degradation proxies resolve through it too.
+	Resolve func(name string) (predict.Algorithm, error)
+}
+
+// DegradeConfig tunes graceful degradation. Zero fields take defaults.
+type DegradeConfig struct {
+	// P95 is the rolling p95 latency threshold (default 250ms).
+	P95 time.Duration
+	// QueueDepth is the queue-length threshold (default 3/4 of the request
+	// queue capacity).
+	QueueDepth int
+	// Window is the rolling latency window length (default 32).
+	Window int
+	// RecoverAfter is the number of consecutive healthy observations that
+	// re-enable the latent path (default 16).
+	RecoverAfter int
+	// Disabled turns the controller off: nothing ever degrades.
+	Disabled bool
+}
+
+// Snapshot is one published immutable state of the ingested network.
+type Snapshot struct {
+	Graph *graph.Graph
+	// Seq increases by one per publication; 0 is the initial snapshot.
+	Seq int64
+	// Edges is the number of trace edge events folded into Graph.
+	Edges int
+	// Time is the snapshot's trace time (last applied event).
+	Time int64
+}
+
+// PairScore is one scored pair in external ID space.
+type PairScore struct {
+	U     int64   `json:"u"`
+	V     int64   `json:"v"`
+	Score float64 `json:"score"`
+}
+
+// Result is the payload of one answered query.
+type Result struct {
+	// Alg is the requested algorithm; ServedBy the one that actually ran
+	// (the degradation proxy when Degraded).
+	Alg      string `json:"alg"`
+	ServedBy string `json:"served_by"`
+	Degraded bool   `json:"degraded"`
+	// SnapshotSeq/SnapshotEdges/SnapshotTime identify the published
+	// snapshot the scores were computed against.
+	SnapshotSeq   int64 `json:"snapshot_seq"`
+	SnapshotEdges int   `json:"snapshot_edges"`
+	SnapshotTime  int64 `json:"snapshot_time"`
+	// Pairs holds the ranked top-k (predict) or the per-request scores in
+	// request order (score).
+	Pairs []PairScore `json:"pairs"`
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	OK            bool  `json:"ok"`
+	SnapshotSeq   int64 `json:"snapshot_seq"`
+	SnapshotEdges int   `json:"snapshot_edges"`
+	TraceEdges    int   `json:"trace_edges"`
+	Nodes         int   `json:"nodes"`
+	Degraded      bool  `json:"degraded"`
+	QueueDepth    int   `json:"queue_depth"`
+}
+
+var (
+	// ErrOverloaded rejects a request when the bounded queue is full; the
+	// HTTP layer maps it to 429.
+	ErrOverloaded = errors.New("serve: request queue full")
+	// ErrClosed rejects requests after Close.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrBatchAborted tells a coalesced follower that its batch leader's
+	// deadline cancelled the shared sweep mid-flight; the request is safe
+	// to retry (HTTP 503).
+	ErrBatchAborted = errors.New("serve: batch aborted by leader deadline; retry")
+)
+
+// latentProxy maps each latent-family algorithm to the fused local metric
+// that answers for it under degradation. The proxies run zero-allocation
+// wedge sweeps (DESIGN.md §7) — orders of magnitude cheaper than an
+// eigensolve or ALS on a cold snapshot — and remain fully deterministic, so
+// a degraded response is exactly the proxy algorithm's own output.
+var latentProxy = map[string]string{
+	"Katz":   "AA",
+	"KatzSC": "RA",
+	"Rescal": "CN",
+}
+
+type reqKind int
+
+const (
+	kindPredict reqKind = iota
+	kindScore
+)
+
+type outcome struct {
+	res *Result
+	err error
+}
+
+type request struct {
+	kind reqKind
+	alg  string
+	k    int
+	// ext holds the queried pairs in external IDs (score only); dense the
+	// remapped pairs with ok=false for endpoints unknown at submit time.
+	ext   [][2]int64
+	dense []densePair
+	ctx   context.Context
+	done  chan outcome
+}
+
+type densePair struct {
+	u, v graph.NodeID
+	ok   bool
+}
+
+// Server is the live prediction service. Create with New, serve HTTP via
+// Handler, and stop with Close.
+type Server struct {
+	cfg   Config
+	queue chan *request
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	// mu serializes the ingest path: trace growth and snapshot publication.
+	mu      sync.Mutex
+	trace   *graph.Trace
+	builder *graph.IncrementalBuilder
+	seq     int64
+	pending int
+
+	// idMu guards the external↔dense ID maps, which queries read while
+	// ingest extends them.
+	idMu  sync.RWMutex
+	remap map[int64]graph.NodeID
+	rev   []int64
+
+	cur atomic.Pointer[Snapshot]
+	deg *degrader
+}
+
+// New starts a server: applies defaults, publishes the initial snapshot
+// (the warm-start trace, or an empty graph), and launches the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 512
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 16
+	}
+	if cfg.Opt.PPRAlpha == 0 {
+		seed, workers := cfg.Opt.Seed, cfg.Opt.Workers
+		cfg.Opt = predict.DefaultOptions()
+		if seed != 0 {
+			cfg.Opt.Seed = seed
+		}
+		cfg.Opt.Workers = workers
+	}
+	if cfg.Opt.Workers <= 0 {
+		cfg.Opt.Workers = 1
+	}
+	if cfg.Opt.Workers > runtime.GOMAXPROCS(0) {
+		cfg.Opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Resolve == nil {
+		cfg.Resolve = predict.ByName
+	}
+	if cfg.WarmAlgorithms == nil {
+		cfg.WarmAlgorithms = []string{"AA", "BAA", "Katz", "KatzSC", "Rescal"}
+	}
+	tr := cfg.Trace
+	if tr == nil {
+		tr = &graph.Trace{Name: "live"}
+	} else if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: warm-start trace: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *request, cfg.QueueDepth),
+		done:    make(chan struct{}),
+		trace:   tr,
+		builder: graph.NewIncrementalBuilder(tr),
+		remap:   make(map[int64]graph.NodeID, tr.NumNodes()),
+		deg:     newDegrader(cfg.Degrade, cfg.QueueDepth),
+	}
+	// Warm-start IDs are the trace's own dense IDs.
+	s.rev = make([]int64, tr.NumNodes())
+	for i := range s.rev {
+		s.rev[i] = int64(i)
+		s.remap[int64(i)] = graph.NodeID(i)
+	}
+	s.mu.Lock()
+	s.seq = -1 // the initial publication is seq 0
+	s.publishLocked()
+	s.mu.Unlock()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Close stops the server: in-flight requests finish, queued requests are
+// answered with ErrClosed, and new calls are rejected. Idempotent.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.done)
+	s.closeMu.Unlock()
+	s.wg.Wait()
+	for {
+		select {
+		case r := <-s.queue:
+			r.done <- outcome{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// Snapshot returns the currently published snapshot.
+func (s *Server) Snapshot() *Snapshot { return s.cur.Load() }
+
+// Degraded reports whether the degradation controller currently routes
+// latent-family requests to their local-metric proxies.
+func (s *Server) Degraded() bool { return s.deg.degraded() }
+
+// Health reports the serving state for /healthz.
+func (s *Server) Health() Health {
+	snap := s.cur.Load()
+	s.mu.Lock()
+	edges := len(s.trace.Edges)
+	s.mu.Unlock()
+	return Health{
+		OK:            true,
+		SnapshotSeq:   snap.Seq,
+		SnapshotEdges: snap.Edges,
+		TraceEdges:    edges,
+		Nodes:         snap.Graph.NumNodes(),
+		Degraded:      s.deg.degraded(),
+		QueueDepth:    len(s.queue),
+	}
+}
+
+// Ingest appends edge events to the live trace, publishing snapshots on
+// the configured cadence. Events with negative IDs or equal endpoints are
+// rejected individually; the rest are accepted in order. It returns the
+// accepted and rejected counts.
+func (s *Server) Ingest(events []Event) (accepted, rejected int, err error) {
+	s.closeMu.RLock()
+	closed := s.closed
+	s.closeMu.RUnlock()
+	if closed {
+		return 0, 0, ErrClosed
+	}
+	s.mu.Lock()
+	for _, ev := range events {
+		if ev.U < 0 || ev.V < 0 || ev.U == ev.V {
+			rejected++
+			continue
+		}
+		u, v := s.dense(ev.U), s.dense(ev.V)
+		if _, aerr := s.trace.Append(u, v, ev.T); aerr != nil {
+			rejected++
+			continue
+		}
+		accepted++
+		s.pending++
+		if s.pending >= s.cfg.SnapshotEvery {
+			s.publishLocked()
+		}
+	}
+	lag := len(s.trace.Edges) - s.builder.Applied()
+	s.mu.Unlock()
+	if obs.Enabled() {
+		obs.GetCounter("serve/ingest_events").Add(int64(accepted))
+		if rejected > 0 {
+			obs.GetCounter("serve/ingest_rejected").Add(int64(rejected))
+		}
+		obs.GetHistogram("serve/ingest_lag_events").Observe(int64(lag))
+	}
+	return accepted, rejected, nil
+}
+
+// Flush publishes a snapshot of everything ingested so far, regardless of
+// cadence, and returns it. With nothing new to publish it returns the
+// current snapshot unchanged.
+func (s *Server) Flush() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.builder.Applied() == len(s.trace.Edges) && s.cur.Load() != nil {
+		return s.cur.Load()
+	}
+	return s.publishLocked()
+}
+
+// dense remaps an external ID, assigning the next dense ID on first sight.
+// Callers hold s.mu.
+func (s *Server) dense(id int64) graph.NodeID {
+	s.idMu.RLock()
+	d, ok := s.remap[id]
+	s.idMu.RUnlock()
+	if ok {
+		return d
+	}
+	s.idMu.Lock()
+	d = graph.NodeID(len(s.rev))
+	s.remap[id] = d
+	s.rev = append(s.rev, id)
+	s.idMu.Unlock()
+	return d
+}
+
+// lookupDense resolves an external ID without assigning.
+func (s *Server) lookupDense(id int64) (graph.NodeID, bool) {
+	s.idMu.RLock()
+	d, ok := s.remap[id]
+	s.idMu.RUnlock()
+	return d, ok
+}
+
+// external maps a dense ID back to the external ID it was assigned for.
+func (s *Server) external(d graph.NodeID) int64 {
+	s.idMu.RLock()
+	id := s.rev[d]
+	s.idMu.RUnlock()
+	return id
+}
+
+// publishLocked builds the snapshot of the full ingested prefix and swaps
+// it in. Callers hold s.mu. The OnPublish hook observes the snapshot
+// before the pointer swap, so by the time any query can reference a seq
+// the hook has already seen it.
+func (s *Server) publishLocked() *Snapshot {
+	g := s.builder.AtEdge(len(s.trace.Edges))
+	s.seq++
+	snap := &Snapshot{Graph: g, Seq: s.seq, Edges: s.builder.Applied(), Time: g.Time}
+	s.pending = 0
+	if s.cfg.OnPublish != nil {
+		s.cfg.OnPublish(snap)
+	}
+	s.cur.Store(snap)
+	if obs.Enabled() {
+		obs.GetCounter("serve/snapshots_published").Inc()
+	}
+	if s.cfg.Warm {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			start := time.Now()
+			predict.Warm(g, s.cfg.WarmAlgorithms, s.cfg.Opt)
+			if obs.Enabled() {
+				obs.GetHistogram("serve/warm_ns").Observe(time.Since(start).Nanoseconds())
+			}
+		}()
+	}
+	return snap
+}
+
+// Predict answers a top-k query: the k highest-scored candidate links on
+// the current snapshot under the named algorithm.
+func (s *Server) Predict(ctx context.Context, alg string, k int) (*Result, error) {
+	if _, err := s.cfg.Resolve(alg); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("serve: k must be positive, got %d", k)
+	}
+	return s.submit(&request{kind: kindPredict, alg: alg, k: k, ctx: ctx, done: make(chan outcome, 1)})
+}
+
+// Score answers a pair-score query: one score per requested pair, in
+// request order, in external IDs. Unknown endpoints and pairs beyond the
+// current snapshot score zero.
+func (s *Server) Score(ctx context.Context, alg string, pairs [][2]int64) (*Result, error) {
+	if _, err := s.cfg.Resolve(alg); err != nil {
+		return nil, err
+	}
+	req := &request{kind: kindScore, alg: alg, ext: pairs, ctx: ctx, done: make(chan outcome, 1)}
+	req.dense = make([]densePair, len(pairs))
+	for i, p := range pairs {
+		u, uok := s.lookupDense(p[0])
+		v, vok := s.lookupDense(p[1])
+		req.dense[i] = densePair{u: u, v: v, ok: uok && vok}
+	}
+	return s.submit(req)
+}
+
+// submit enqueues a request (rejecting on overload or shutdown) and waits
+// for its outcome. Every enqueued request is answered exactly once by the
+// worker pool — deadline handling happens there, so the deadline counter
+// counts each expired request exactly once.
+func (s *Server) submit(req *request) (*Result, error) {
+	if req.ctx == nil {
+		req.ctx = context.Background()
+	}
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- req:
+		s.closeMu.RUnlock()
+	default:
+		s.closeMu.RUnlock()
+		if obs.Enabled() {
+			obs.GetCounter("serve/overload_rejected").Inc()
+		}
+		return nil, ErrOverloaded
+	}
+	if obs.Enabled() {
+		obs.GetHistogram("serve/queue_depth").Observe(int64(len(s.queue)))
+	}
+	out := <-req.done
+	return out.res, out.err
+}
+
+// worker serves queued requests until Close, then drains the queue with
+// ErrClosed so no caller is left waiting.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			for {
+				select {
+				case r := <-s.queue:
+					r.done <- outcome{err: ErrClosed}
+				default:
+					return
+				}
+			}
+		case r := <-s.queue:
+			s.serveBatch(r)
+		}
+	}
+}
+
+// serveBatch serves one dequeued request, coalescing queued same-algorithm
+// score requests behind a score leader into shared sweeps. Requests are
+// grouped in arrival order; any non-score requests swept up by the drain
+// are served after the score groups.
+func (s *Server) serveBatch(leader *request) {
+	batch := []*request{leader}
+	if leader.kind == kindScore {
+	drain:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case r := <-s.queue:
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+	}
+	snap := s.cur.Load()
+	// Bucket score requests by algorithm, preserving arrival order.
+	var algOrder []string
+	groups := make(map[string][]*request)
+	var rest []*request
+	for _, r := range batch {
+		if r.kind != kindScore {
+			rest = append(rest, r)
+			continue
+		}
+		if _, ok := groups[r.alg]; !ok {
+			algOrder = append(algOrder, r.alg)
+		}
+		groups[r.alg] = append(groups[r.alg], r)
+	}
+	for _, alg := range algOrder {
+		s.serveScoreGroup(groups[alg], snap)
+	}
+	for _, r := range rest {
+		s.servePredict(r, snap)
+	}
+}
+
+// finishDeadline answers a request whose context expired and counts it.
+func (s *Server) finishDeadline(r *request) {
+	if obs.Enabled() {
+		obs.GetCounter("serve/deadline_exceeded").Inc()
+	}
+	r.done <- outcome{err: r.ctx.Err()}
+}
+
+// route resolves the algorithm serving a request: under degradation,
+// latent-family names route to their local-metric proxies.
+func (s *Server) route(name string) (predict.Algorithm, string, bool, error) {
+	if s.deg.degraded() {
+		if proxy, ok := latentProxy[name]; ok {
+			a, err := s.cfg.Resolve(proxy)
+			if err == nil {
+				return a, proxy, true, nil
+			}
+		}
+	}
+	a, err := s.cfg.Resolve(name)
+	return a, name, false, err
+}
+
+// servePredict runs one top-k sweep.
+func (s *Server) servePredict(r *request, snap *Snapshot) {
+	start := time.Now()
+	if r.ctx.Err() != nil {
+		s.finishDeadline(r)
+		return
+	}
+	alg, served, degraded, err := s.route(r.alg)
+	if err != nil {
+		r.done <- outcome{err: err}
+		return
+	}
+	opt := s.cfg.Opt
+	opt.Ctx = r.ctx
+	pairs := alg.Predict(snap.Graph, r.k, opt)
+	if r.ctx.Err() != nil {
+		// The sweep was cut short; the partial top-k is not the contract's
+		// bit-identical answer, so it is discarded.
+		s.finishDeadline(r)
+		return
+	}
+	res := &Result{
+		Alg:           r.alg,
+		ServedBy:      served,
+		Degraded:      degraded,
+		SnapshotSeq:   snap.Seq,
+		SnapshotEdges: snap.Edges,
+		SnapshotTime:  snap.Time,
+		Pairs:         make([]PairScore, len(pairs)),
+	}
+	for i, p := range pairs {
+		res.Pairs[i] = PairScore{U: s.external(p.U), V: s.external(p.V), Score: p.Score}
+	}
+	s.noteServed(degraded, start)
+	r.done <- outcome{res: res}
+}
+
+// serveScoreGroup answers a coalesced batch of same-algorithm score
+// requests with one ScorePairs sweep. The first live member is the batch
+// leader; its context bounds the shared sweep.
+func (s *Server) serveScoreGroup(grp []*request, snap *Snapshot) {
+	start := time.Now()
+	live := grp[:0:0]
+	for _, r := range grp {
+		if r.ctx.Err() != nil {
+			s.finishDeadline(r)
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	leader := live[0]
+	alg, served, degraded, err := s.route(leader.alg)
+	if err != nil {
+		for _, r := range live {
+			r.done <- outcome{err: err}
+		}
+		return
+	}
+	if obs.Enabled() {
+		obs.GetHistogram("serve/batch_size").Observe(int64(len(live)))
+	}
+	// Concatenate the in-range pairs of every member. A pair is scorable
+	// when both endpoints exist in the queried snapshot; anything else
+	// (unknown external ID, node newer than the snapshot) scores zero
+	// rather than indexing out of range in the engine.
+	n := graph.NodeID(snap.Graph.NumNodes())
+	var flat []predict.Pair
+	type span struct{ at []int } // flat index per member pair, -1 = unscorable
+	spans := make([]span, len(live))
+	for m, r := range live {
+		at := make([]int, len(r.dense))
+		for i, dp := range r.dense {
+			if !dp.ok || dp.u >= n || dp.v >= n {
+				at[i] = -1
+				continue
+			}
+			at[i] = len(flat)
+			flat = append(flat, predict.Pair{U: dp.u, V: dp.v})
+		}
+		spans[m] = span{at: at}
+	}
+	opt := s.cfg.Opt
+	opt.Ctx = leader.ctx
+	var vals []float64
+	if len(flat) > 0 {
+		vals = alg.ScorePairs(snap.Graph, flat, opt)
+	}
+	if leader.ctx.Err() != nil {
+		// The shared sweep was cancelled; followers retry, the leader owns
+		// the deadline.
+		s.finishDeadline(leader)
+		for _, r := range live[1:] {
+			r.done <- outcome{err: ErrBatchAborted}
+		}
+		return
+	}
+	for m, r := range live {
+		if r.ctx.Err() != nil {
+			s.finishDeadline(r)
+			continue
+		}
+		res := &Result{
+			Alg:           r.alg,
+			ServedBy:      served,
+			Degraded:      degraded,
+			SnapshotSeq:   snap.Seq,
+			SnapshotEdges: snap.Edges,
+			SnapshotTime:  snap.Time,
+			Pairs:         make([]PairScore, len(r.ext)),
+		}
+		for i, p := range r.ext {
+			score := 0.0
+			if at := spans[m].at[i]; at >= 0 {
+				score = vals[at]
+			}
+			res.Pairs[i] = PairScore{U: p[0], V: p[1], Score: score}
+		}
+		if degraded && obs.Enabled() {
+			obs.GetCounter("serve/degraded_responses").Inc()
+		}
+		r.done <- outcome{res: res}
+	}
+	s.deg.observe(time.Since(start), len(s.queue))
+}
+
+// noteServed records one served predict sweep: the degraded-response
+// counter and the degradation controller's latency/queue observation.
+func (s *Server) noteServed(degraded bool, start time.Time) {
+	if degraded && obs.Enabled() {
+		obs.GetCounter("serve/degraded_responses").Inc()
+	}
+	s.deg.observe(time.Since(start), len(s.queue))
+}
