@@ -187,6 +187,32 @@ func TestScaled(t *testing.T) {
 	}
 }
 
+func TestScalePresets(t *testing.T) {
+	for _, tc := range []struct {
+		cfg        Config
+		name       string
+		finalNodes int
+	}{
+		{Renren100K(1), "renren-100k", 104000},
+		{Renren1M(1), "renren-1m", 1040000},
+	} {
+		if tc.cfg.Name != tc.name {
+			t.Errorf("preset name = %q, want %q", tc.cfg.Name, tc.name)
+		}
+		if tc.cfg.FinalNodes != tc.finalNodes {
+			t.Errorf("%s FinalNodes = %d, want %d", tc.name, tc.cfg.FinalNodes, tc.finalNodes)
+		}
+		if err := tc.cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", tc.name, err)
+		}
+		// The distinct Name must still resolve a sane snapshot delta
+		// (>15 snapshots, like the paper's rule) through DefaultDelta.
+		if d := DefaultDelta(tc.cfg); d <= 0 || tc.cfg.FinalEdges/d < 15 {
+			t.Errorf("%s DefaultDelta = %d (%d snapshots)", tc.name, d, tc.cfg.FinalEdges/d)
+		}
+	}
+}
+
 func TestDailyBudget(t *testing.T) {
 	b := dailyBudget(100, 1000, 30)
 	total := 0

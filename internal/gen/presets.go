@@ -80,6 +80,27 @@ func YouTube(seed int64) Config {
 	}
 }
 
+// Renren100K returns the 10⁵-node Renren analogue (~104K final nodes,
+// ~1.2M final edges): the Renren growth mechanics scaled 20x, sized to
+// exercise the candidate-generation engine's scaling behavior on one
+// machine. The paper's real Renren snapshots span 1.4M-10.5M nodes; this
+// preset is the single-machine benchmark point between the unit-test scale
+// and Renren1M.
+func Renren100K(seed int64) Config {
+	c := Renren(seed).Scaled(20)
+	c.Name = "renren-100k"
+	return c
+}
+
+// Renren1M returns the 10⁶-node Renren analogue (~1.04M final nodes, ~12M
+// final edges), the largest generated benchmark preset — comparable in node
+// count to the paper's earliest full Renren snapshot.
+func Renren1M(seed int64) Config {
+	c := Renren(seed).Scaled(200)
+	c.Name = "renren-1m"
+	return c
+}
+
 // DefaultDelta returns the snapshot delta used by the experiment harness for
 // a preset, chosen so each trace yields a Table 2-like number of snapshots
 // (Facebook 31, YouTube 21, Renren 17).

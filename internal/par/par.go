@@ -101,6 +101,31 @@ func ShardRangeCtx(ctx context.Context, n, workers, min int, body func(worker, l
 	return ctx.Err()
 }
 
+// LimitWorkers clamps a requested worker count so each worker gets at least
+// minWork units of estimated total work. Fan-out has a fixed cost per
+// goroutine (spawn, chunk claims, heap merge); on tiny inputs that overhead
+// exceeds the sweep itself and parallelism turns into the small-graph
+// regression BENCH_predict.json records (JC 0.83x at 4 workers). Callers
+// estimate work in whatever unit dominates their loop (wedge visits for the
+// local sweeps) and the clamp keeps sub-threshold inputs serial. The result
+// depends only on (workers, work, minWork), never on timing, so clamped
+// sweeps keep the worker-invariance contract: output is bit-identical
+// because the engine is bit-identical at every worker count anyway — the
+// clamp only removes overhead.
+func LimitWorkers(workers int, work, minWork int64) int {
+	if minWork <= 0 || workers <= 1 {
+		return workers
+	}
+	max := int(work / minWork)
+	if max < 1 {
+		max = 1
+	}
+	if workers > max {
+		return max
+	}
+	return workers
+}
+
 func minInt(a, b int) int {
 	if a < b {
 		return a

@@ -7,6 +7,7 @@ import (
 
 	"linkpred/internal/graph"
 	"linkpred/internal/par"
+	"linkpred/internal/snapcache"
 )
 
 // This file is the shared parallel scoring engine. Every algorithm routes
@@ -147,7 +148,7 @@ func predictTwoHop(g *graph.Graph, k int, opt Options, visit func(u, v graph.Nod
 // the fused kernels are property-tested against (TestFusedKernels*).
 func predictFusedTwoHop(g *graph.Graph, k int, opt Options, kern sweepKernel) []Pair {
 	n := g.NumNodes()
-	workers := workerCount(opt)
+	workers := par.LimitWorkers(workerCount(opt), wedgeWork(g), minSweepWork)
 	parts := make([]*topK, workers)
 	scratch := make([]*sweepScratch, workers)
 	shardRange(opt, n, workers, func(w, lo, hi int) {
@@ -173,6 +174,15 @@ func predictFusedTwoHop(g *graph.Graph, k int, opt Options, kern sweepKernel) []
 // a chunk, and each query is answered by an O(1) lookup into the worker's
 // accumulators. A chunk boundary splitting a group only costs one extra
 // sweep; per-query results are unchanged.
+//
+// Hub fast path: when the group's source has a cached neighbor bitset
+// (csr.View via snapcache) and the group's targets are collectively cheaper
+// to probe than the source is to sweep, each query (u, v) walks N(v)
+// testing membership in u's bitset instead. Witnesses still arrive in
+// ascending ID order — N(v) is sorted — so the accumulated floats are
+// bit-identical to the sweep's; the path choice is a deterministic function
+// of the graph and the batch, and either path computes the same set, so
+// output never depends on which one ran.
 func scorePairsFused(g *graph.Graph, pairs []Pair, opt Options, kern sweepKernel) []float64 {
 	out := make([]float64, len(pairs))
 	if len(pairs) == 0 {
@@ -180,27 +190,80 @@ func scorePairsFused(g *graph.Graph, pairs []Pair, opt Options, kern sweepKernel
 	}
 	idx := sourceSortedIndex(pairs, func(p Pair) graph.NodeID { return p.U })
 	n := g.NumNodes()
-	workers := workerCount(opt)
+	view := snapcache.For(g).CSRView()
+	avgWedge := int64(1)
+	if n > 0 {
+		avgWedge += wedgeWork(g) / int64(n)
+	}
+	workers := par.LimitWorkers(workerCount(opt), int64(len(pairs))*avgWedge, minSweepWork)
 	scratch := make([]*sweepScratch, workers)
 	shardRange(opt, len(idx), workers, func(wk, lo, hi int) {
 		if scratch[wk] == nil {
 			scratch[wk] = newSweepScratch(n)
 		}
 		s := scratch[wk]
-		cur := graph.NodeID(-1)
-		first := true
-		for _, i := range idx[lo:hi] {
-			p := pairs[i]
-			if p.U != cur || first {
-				cur, first = p.U, false
-				s.sweepAll(g, cur, kern.witness)
+		for gi := lo; gi < hi; {
+			u := pairs[idx[gi]].U
+			ge := gi + 1
+			for ge < hi && pairs[idx[ge]].U == u {
+				ge++
 			}
-			if c := s.count[p.V]; c != 0 {
-				out[i] = kern.finish(p.U, p.V, c, s.weight[p.V])
+			if b := view.HubBits(u); b != nil && probeCheaper(g, u, pairs, idx[gi:ge]) {
+				for _, i := range idx[gi:ge] {
+					p := pairs[i]
+					var c int32
+					var ws float64
+					if kern.witness == nil {
+						for _, w := range g.Neighbors(p.V) {
+							if b.Has(w) {
+								c++
+							}
+						}
+					} else {
+						for _, w := range g.Neighbors(p.V) {
+							if b.Has(w) {
+								c++
+								ws += kern.witness(w)
+							}
+						}
+					}
+					if c != 0 {
+						out[i] = kern.finish(p.U, p.V, c, ws)
+					}
+				}
+				gi = ge
+				continue
 			}
+			s.sweepAll(g, u, kern.witness)
+			for _, i := range idx[gi:ge] {
+				p := pairs[i]
+				if c := s.count[p.V]; c != 0 {
+					out[i] = kern.finish(p.U, p.V, c, s.weight[p.V])
+				}
+			}
+			gi = ge
 		}
 	})
 	return out
+}
+
+// probeCheaper estimates whether answering a source group by per-target
+// bitset probes (Σ deg(v) bit tests) beats one shared wedge sweep
+// (Σ_{w∈N(u)} deg(w) visits). Both sides are exact integer functions of the
+// graph and the group, so the decision is deterministic.
+func probeCheaper(g *graph.Graph, u graph.NodeID, pairs []Pair, group []int) bool {
+	probe := int64(0)
+	for _, i := range group {
+		probe += int64(g.Degree(pairs[i].V))
+	}
+	sweep := int64(0)
+	for _, w := range g.Neighbors(u) {
+		sweep += int64(g.Degree(w))
+		if sweep > probe {
+			return true
+		}
+	}
+	return false
 }
 
 // sourceSortedIndex returns pair indices sorted by the node that key

@@ -98,20 +98,25 @@ func fuseLHN(g *graph.Graph, _ *naiveBayes, u, v graph.NodeID, count int32, _ fl
 	return float64(count) / (float64(du) * float64(dv))
 }
 
+// The four degree-normalized indices are bounded by 1 and a degree-twin
+// candidate attains it, so they carry the unit bound (which never prunes —
+// DESIGN.md §10); LHN's denominator grows with deg(u), giving it the
+// strongest per-source bound in the family.
+
 // Salton is the cosine similarity index (|Γu∩Γv| / sqrt(ku·kv)).
-var Salton Algorithm = &localMetric{name: "Salton", score: scoreSalton, fuse: fuseSalton}
+var Salton Algorithm = &localMetric{name: "Salton", score: scoreSalton, fuse: fuseSalton, boundKind: boundUnit}
 
 // Sorensen is the Sørensen index (2|Γu∩Γv| / (ku+kv)).
-var Sorensen Algorithm = &localMetric{name: "Sorensen", score: scoreSorensen, fuse: fuseSorensen}
+var Sorensen Algorithm = &localMetric{name: "Sorensen", score: scoreSorensen, fuse: fuseSorensen, boundKind: boundUnit}
 
 // HPI is the Hub Promoted Index (|Γu∩Γv| / min(ku,kv)).
-var HPI Algorithm = &localMetric{name: "HPI", score: scoreHPI, fuse: fuseHPI}
+var HPI Algorithm = &localMetric{name: "HPI", score: scoreHPI, fuse: fuseHPI, boundKind: boundUnit}
 
 // HDI is the Hub Depressed Index (|Γu∩Γv| / max(ku,kv)).
-var HDI Algorithm = &localMetric{name: "HDI", score: scoreHDI, fuse: fuseHDI}
+var HDI Algorithm = &localMetric{name: "HDI", score: scoreHDI, fuse: fuseHDI, boundKind: boundUnit}
 
 // LHN is the Leicht-Holme-Newman index (|Γu∩Γv| / (ku·kv)).
-var LHN Algorithm = &localMetric{name: "LHN", score: scoreLHN, fuse: fuseLHN}
+var LHN Algorithm = &localMetric{name: "LHN", score: scoreLHN, fuse: fuseLHN, boundKind: boundInvDeg}
 
 // Extensions returns the survey metrics beyond the paper's evaluated set.
 // SRW (walk.go) rides along: it is the survey's superposed companion to the

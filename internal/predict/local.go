@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"linkpred/internal/graph"
+	"linkpred/internal/snapcache"
 )
 
 // localMetric is the family of neighborhood similarity metrics: CN, JC, AA,
@@ -33,6 +34,11 @@ type localMetric struct {
 	// fuse finishes one candidate from the accumulated common-neighbor
 	// count and witness-weight sum.
 	fuse func(g *graph.Graph, nb *naiveBayes, u, v graph.NodeID, count int32, wsum float64) float64
+	// boundKind selects the per-source score upper bound driving top-k
+	// threshold pruning (prune.go); boundTerm supplies the per-witness term
+	// for boundAdditive metrics and is ignored otherwise.
+	boundKind boundKind
+	boundTerm func(g *graph.Graph, ld []float64, nb *naiveBayes, w graph.NodeID) float64
 }
 
 func (m *localMetric) Name() string { return m.name }
@@ -62,7 +68,11 @@ func (m *localMetric) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	if m.usesNB {
 		nb = newNaiveBayes(g, opt)
 	}
-	return predictFusedTwoHop(g, k, opt, m.kernel(g, nb))
+	kern := m.kernel(g, nb)
+	if opt.ExhaustiveSweep {
+		return predictFusedTwoHop(g, k, opt, kern)
+	}
+	return predictPruned(g, k, opt, m, nb, kern)
 }
 
 // referencePredict is the pre-fusion per-pair intersection path, kept as
@@ -123,7 +133,14 @@ func newNaiveBayes(g *graph.Graph, opt Options) *naiveBayes {
 	workers := workerCount(opt)
 	// The triangle count is sharded by edge source; each worker accumulates
 	// into a private array and the integer sums merge exactly, so the
-	// statistics are independent of worker count.
+	// statistics are independent of worker count. When one endpoint of an
+	// edge is a hub (has a cached neighbor bitset), the intersection walks
+	// the shorter adjacency list probing the hub's bitset — min(du,dv) bit
+	// tests instead of a du+dv merge — which is where hub-hub edges, the
+	// most expensive triangles in a power-law graph, collapse. Either path
+	// finds the identical common-neighbor set; only integers accumulate, so
+	// the statistics are exact and path-independent.
+	view := snapcache.For(g).CSRView()
 	partTri := make([][]int64, workers)
 	shardRange(opt, n, workers, func(wk, lo, hi int) {
 		tri := partTri[wk]
@@ -138,10 +155,24 @@ func newNaiveBayes(g *graph.Graph, opt Options) *naiveBayes {
 				if v <= uid {
 					continue
 				}
+				b := g.Neighbors(v)
+				short, other := a, v
+				if len(b) < len(a) {
+					short, other = b, uid
+				}
+				if hb := view.HubBits(other); hb != nil {
+					for _, w := range short {
+						if hb.Has(w) {
+							tri[uid]++
+							tri[v]++
+							tri[w]++
+						}
+					}
+					continue
+				}
 				// Walk the sorted intersection in place: materializing it
 				// per edge would make the statistics pass the only
 				// per-element allocator left on the local-metric path.
-				b := g.Neighbors(v)
 				i, j := 0, 0
 				for i < len(a) && j < len(b) {
 					switch {
@@ -296,25 +327,38 @@ func fuseBCN(_ *graph.Graph, nb *naiveBayes, _, _ graph.NodeID, count int32, wsu
 	return float64(count)*nb.logS + wsum
 }
 
+// Per-witness bound terms for the additive score upper bounds (prune.go).
+// AA, RA, BAA and BRA bound by their witness functions directly; CN's term
+// is the unit count and BCN's folds the count term into each witness
+// (score = Σ_{w∈common} (logS + logR[w])), which its witness alone omits.
+
+func termOne(_ *graph.Graph, _ []float64, _ *naiveBayes, _ graph.NodeID) float64 {
+	return 1
+}
+
+func termBCN(_ *graph.Graph, _ []float64, nb *naiveBayes, w graph.NodeID) float64 {
+	return nb.logS + nb.logR[w]
+}
+
 // The exported local algorithms.
 
 // CN is Common Neighbors [Newman 2001].
-var CN Algorithm = &localMetric{name: "CN", score: scoreCN, fuse: fuseCN}
+var CN Algorithm = &localMetric{name: "CN", score: scoreCN, fuse: fuseCN, boundTerm: termOne}
 
 // JC is Jaccard's Coefficient.
-var JC Algorithm = &localMetric{name: "JC", score: scoreJC, fuse: fuseJC}
+var JC Algorithm = &localMetric{name: "JC", score: scoreJC, fuse: fuseJC, boundKind: boundUnit}
 
 // AA is the Adamic/Adar index.
-var AA Algorithm = &localMetric{name: "AA", score: scoreAA, witness: witAA, fuse: fuseWeight}
+var AA Algorithm = &localMetric{name: "AA", score: scoreAA, witness: witAA, fuse: fuseWeight, boundTerm: witAA}
 
 // RA is the Resource Allocation index [Zhou et al. 2009].
-var RA Algorithm = &localMetric{name: "RA", score: scoreRA, witness: witRA, fuse: fuseWeight}
+var RA Algorithm = &localMetric{name: "RA", score: scoreRA, witness: witRA, fuse: fuseWeight, boundTerm: witRA}
 
 // BCN is Local Naive Bayes Common Neighbors [Liu et al. 2011].
-var BCN Algorithm = &localMetric{name: "BCN", score: scoreBCN, usesNB: true, witness: witBCN, fuse: fuseBCN}
+var BCN Algorithm = &localMetric{name: "BCN", score: scoreBCN, usesNB: true, witness: witBCN, fuse: fuseBCN, boundTerm: termBCN}
 
 // BAA is Local Naive Bayes Adamic/Adar.
-var BAA Algorithm = &localMetric{name: "BAA", score: scoreBAA, usesNB: true, witness: witBAA, fuse: fuseWeight}
+var BAA Algorithm = &localMetric{name: "BAA", score: scoreBAA, usesNB: true, witness: witBAA, fuse: fuseWeight, boundTerm: witBAA}
 
 // BRA is Local Naive Bayes Resource Allocation.
-var BRA Algorithm = &localMetric{name: "BRA", score: scoreBRA, usesNB: true, witness: witBRA, fuse: fuseWeight}
+var BRA Algorithm = &localMetric{name: "BRA", score: scoreBRA, usesNB: true, witness: witBRA, fuse: fuseWeight, boundTerm: witBRA}

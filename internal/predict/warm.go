@@ -26,6 +26,11 @@ func Warm(g *graph.Graph, names []string, opt Options) {
 	opt.Ctx = nil
 	arts := snapcache.For(g)
 	arts.DegreeOrder()
+	// The degree-ordered view with hub bitsets backs the local metrics'
+	// batch probes and naive Bayes statistics; build it off the request
+	// path along with the wedge-work estimate the worker clamp reads.
+	arts.CSRView()
+	wedgeWork(g)
 	for _, name := range names {
 		switch name {
 		case "CN", "JC":

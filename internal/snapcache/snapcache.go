@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"linkpred/internal/csr"
 	"linkpred/internal/graph"
 	"linkpred/internal/linalg"
 	"linkpred/internal/obs"
@@ -160,6 +161,17 @@ func (a *Artifacts) CSR() (*linalg.CSR, error) {
 		return nil, err
 	}
 	return v.(*linalg.CSR), nil
+}
+
+// CSRView returns the snapshot's degree-ordered relabeling and hub-block
+// bitsets (csr.Build with the default budget), building them on first use.
+// The view is shared read-only; its Order agrees element-for-element with
+// DegreeOrder.
+func (a *Artifacts) CSRView() *csr.View {
+	v, _ := a.Artifact("csrview", func() (any, error) {
+		return csr.Build(a.g, csr.DefaultHubBudget), nil
+	})
+	return v.(*csr.View)
 }
 
 // DegreeOrder returns all node IDs sorted by descending degree, ties broken
