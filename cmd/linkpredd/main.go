@@ -4,7 +4,12 @@
 // configurable cadence, and answers top-k and pair-score queries from a
 // bounded worker pool with per-request deadlines, coalesced pair-score
 // sweeps, backpressure, and graceful degradation of latent-family
-// algorithms under load.
+// algorithms under load. With live evaluation on (the default), every
+// /predict response is recorded into a prequential engine and every
+// subsequently ingested edge is scored against it, so /metrics carries
+// measured hit@k, MRR, and precision per algorithm — and the degradation
+// controller routes to the proxy with the best measured accuracy per unit
+// cost.
 //
 // Usage:
 //
@@ -12,30 +17,68 @@
 //	linkpredd -addr :8080 -trace renren.trace            # warm start
 //	linkpredd -snapshot-every 256 -workers 4 -queue 512
 //	linkpredd -degrade-p95 100ms -recover-after 32
+//	linkpredd -eval-topk 64 -eval-window 512              # prequential tuning
+//	linkpredd -metrics-out metrics.json -metrics-every 15s
 //
-// API (see internal/serve and DESIGN.md §9):
+// API (see internal/serve and DESIGN.md §9, §11):
 //
 //	GET  /predict?alg=CN&k=50[&timeout_ms=200]
 //	POST /score   {"alg":"AA","pairs":[[u,v],...]}
 //	POST /ingest  {"events":[{"u":1,"v":2,"t":10},...]}
 //	POST /flush
 //	GET  /healthz
-//	GET  /metrics
+//	GET  /metrics                — JSON telemetry dump
+//	GET  /metrics?format=prom    — Prometheus text exposition (0.0.4)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"linkpred/internal/graph"
+	"linkpred/internal/liveeval"
 	"linkpred/internal/obs"
 	"linkpred/internal/serve"
 )
+
+// metricsDoc mirrors cmd/experiments' -metrics-out schema so the same
+// tooling (cmd/promlint -json, notebooks) reads both.
+type metricsDoc struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	GoVersion   string    `json:"go_version"`
+	GOMAXPROCS  int       `json:"gomaxprocs"`
+	Metrics     *obs.Dump `json:"metrics,omitempty"`
+}
+
+// writeMetrics dumps the current telemetry snapshot atomically (write to a
+// temp file in the target directory, then rename) so a scraper tailing the
+// path never reads a torn report.
+func writeMetrics(path string) error {
+	doc := metricsDoc{
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	if obs.Enabled() {
+		doc.Metrics = obs.Snapshot()
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
@@ -52,9 +95,14 @@ func main() {
 	noDegrade := flag.Bool("no-degrade", false, "disable graceful degradation")
 	seed := flag.Int64("seed", 1, "tie-break seed (fixes ranked output across restarts)")
 	obsOn := flag.Bool("obs", true, "enable telemetry counters (served at /metrics)")
+	evalOn := flag.Bool("eval", true, "prequential live evaluation: score ingested edges against served predictions")
+	evalTopK := flag.Int("eval-topk", 128, "ranked pairs retained per recorded prediction set")
+	evalWindow := flag.Int("eval-window", 1024, "sliding window (scored edges) for windowed hit rate and AUPR")
+	metricsOut := flag.String("metrics-out", "", "write the telemetry report as JSON to this path periodically and at shutdown; implies -obs")
+	metricsEvery := flag.Duration("metrics-every", 30*time.Second, "rewrite -metrics-out on this period")
 	flag.Parse()
 
-	obs.Enable(*obsOn)
+	obs.Enable(*obsOn || *metricsOut != "")
 
 	var tr *graph.Trace
 	if *tracePath != "" {
@@ -86,6 +134,9 @@ func main() {
 	}
 	cfg.Opt.Seed = *seed
 	cfg.Opt.Workers = *engineWorkers
+	if *evalOn {
+		cfg.Eval = liveeval.New(liveeval.Config{TopK: *evalTopK, Window: *evalWindow})
+	}
 
 	srv, err := serve.New(cfg)
 	if err != nil {
@@ -93,20 +144,50 @@ func main() {
 	}
 	defer srv.Close()
 
+	stopDump := func() {}
+	if *metricsOut != "" {
+		done := make(chan struct{})
+		finished := make(chan struct{})
+		go func() {
+			defer close(finished)
+			t := time.NewTicker(*metricsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := writeMetrics(*metricsOut); err != nil {
+						fmt.Fprintf(os.Stderr, "linkpredd: metrics-out: %v\n", err)
+					}
+				case <-done:
+					return
+				}
+			}
+		}()
+		stopDump = func() {
+			close(done)
+			<-finished
+			if err := writeMetrics(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "linkpredd: metrics-out: %v\n", err)
+			}
+		}
+	}
+
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Printf("linkpredd: serving on %s (snapshot every %d edges, %d workers, queue %d)\n",
-		*addr, *snapshotEvery, *workers, *queue)
+	fmt.Printf("linkpredd: serving on %s (snapshot every %d edges, %d workers, queue %d, eval %v)\n",
+		*addr, *snapshotEvery, *workers, *queue, *evalOn)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		stopDump()
 		fail(err)
 	case sig := <-sigc:
 		fmt.Printf("linkpredd: %v, shutting down\n", sig)
 		hs.Close()
+		stopDump()
 	}
 }
 

@@ -1,0 +1,162 @@
+// Command promlint validates a metrics scrape read from stdin.
+//
+// By default the input is Prometheus text exposition (what linkpredd and
+// cmd/experiments serve at /metrics?format=prom): it is checked against
+// the same lint the repo's golden tests use — legal names and labels,
+// TYPE lines preceding samples, cumulative non-decreasing histogram
+// buckets ending in +Inf, and bucket/count agreement. With -json the
+// input is instead the JSON telemetry report written by -metrics-out
+// (either the bare obs dump or the {"metrics": ...} envelope).
+//
+// -require takes a comma-separated list of metric family names that must
+// be present; a required name matches a sample called exactly that, or a
+// family carrying a suffix (_bucket, _count, _p95, ...) or label set. The
+// CI scrape-smoke job uses this to assert the live-evaluation and
+// serving-health series actually exist on a running server.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics?format=prom | promlint \
+//	    -require linkpred_liveeval_hits_total,linkpred_serve_snapshot_age_seconds
+//	curl -s localhost:8080/metrics | promlint -json
+//
+// Exit status 0 on a clean scrape, 1 with a diagnostic on stderr otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"linkpred/internal/obs"
+)
+
+func main() {
+	jsonMode := flag.Bool("json", false, "input is the JSON telemetry report, not Prometheus text")
+	require := flag.String("require", "", "comma-separated metric family names that must be present")
+	flag.Parse()
+
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fail(err)
+	}
+	if len(data) == 0 {
+		fail(fmt.Errorf("empty input"))
+	}
+
+	var present []string
+	if *jsonMode {
+		present, err = jsonFamilies(data)
+	} else {
+		if err = obs.LintPrometheus(data); err == nil {
+			present = promFamilies(data)
+		}
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	var missing []string
+	for _, want := range splitRequire(*require) {
+		if !hasFamily(present, want) {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		fail(fmt.Errorf("missing required families: %s", strings.Join(missing, ", ")))
+	}
+	fmt.Printf("promlint: ok (%d series", len(present))
+	if *require != "" {
+		fmt.Printf(", %d required present", len(splitRequire(*require)))
+	}
+	fmt.Println(")")
+}
+
+// splitRequire parses the -require list, dropping empty entries.
+func splitRequire(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// promFamilies extracts the sample names from already-linted exposition
+// text (the portion before the label set or value).
+func promFamilies(data []byte) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// jsonFamilies validates the JSON report and returns every metric name it
+// carries (counters, histograms, gauges, rolling windows), prefixed with
+// nothing — JSON mode matches the raw obs names, e.g. serve/snapshot_seq.
+func jsonFamilies(data []byte) ([]string, error) {
+	var envelope struct {
+		Metrics *obs.Dump `json:"metrics"`
+	}
+	var dump *obs.Dump
+	if err := json.Unmarshal(data, &envelope); err == nil && envelope.Metrics != nil {
+		dump = envelope.Metrics
+	} else {
+		dump = &obs.Dump{}
+		if err := json.Unmarshal(data, dump); err != nil {
+			return nil, fmt.Errorf("not a telemetry report: %v", err)
+		}
+	}
+	if !dump.Enabled && len(dump.Counters) == 0 && len(dump.Gauges) == 0 &&
+		len(dump.Histograms) == 0 && len(dump.Rolling) == 0 {
+		return nil, fmt.Errorf("telemetry report carries no metrics (obs disabled?)")
+	}
+	var out []string
+	for name := range dump.Counters {
+		out = append(out, name)
+	}
+	for name := range dump.Histograms {
+		out = append(out, name)
+	}
+	for name := range dump.Gauges {
+		out = append(out, name)
+	}
+	for name := range dump.Rolling {
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// hasFamily reports whether a required family name is present: an exact
+// sample match, a suffixed form (histogram _bucket/_count/_p95 samples),
+// or the name immediately followed by a label set.
+func hasFamily(present []string, want string) bool {
+	for _, name := range present {
+		if name == want || strings.HasPrefix(name, want+"_") || strings.HasPrefix(name, want+"{") {
+			return true
+		}
+	}
+	return false
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "promlint:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,40 @@
+package liveeval
+
+import (
+	"testing"
+
+	"linkpred/internal/graph"
+	"linkpred/internal/obs"
+)
+
+// BenchmarkObserveEdge measures the per-ingested-edge cost of the
+// prequential hook with telemetry export off and on — the number that has
+// to stay negligible next to Trace.Append for the serve wiring to be free.
+func BenchmarkObserveEdge(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"obs-disabled", false}, {"obs-enabled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			obs.Reset()
+			obs.Enable(mode.enabled)
+			defer func() {
+				obs.Enable(false)
+				obs.Reset()
+			}()
+			e := New(Config{TopK: 128, Ring: 4, Window: 1024, HalfLife: 256})
+			var ps [][2]graph.NodeID
+			for i := 0; i < 128; i++ {
+				ps = append(ps, [2]graph.NodeID{graph.NodeID(i), graph.NodeID(i + 1000)})
+			}
+			for _, alg := range []string{"CN", "AA", "Katz"} {
+				e.Record(alg, 0, 0, 0, ps)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.ObserveEdge(graph.NodeID(i%500), graph.NodeID(500+i%700), 1+i)
+			}
+		})
+	}
+}

@@ -149,6 +149,7 @@ type HistogramSnapshot struct {
 	Mean    float64           `json:"mean"`
 	P50     int64             `json:"p50"`
 	P90     int64             `json:"p90"`
+	P95     int64             `json:"p95"`
 	P99     int64             `json:"p99"`
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
 }
@@ -165,6 +166,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.Mean = float64(s.Sum) / float64(s.Count)
 	s.P50 = h.Quantile(0.50)
 	s.P90 = h.Quantile(0.90)
+	s.P95 = h.Quantile(0.95)
 	s.P99 = h.Quantile(0.99)
 	for b := 0; b < histBuckets; b++ {
 		if c := h.buckets[b].Load(); c != 0 {

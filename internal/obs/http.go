@@ -8,10 +8,20 @@ import (
 	"sync"
 )
 
-// Handler returns an expvar-style HTTP handler serving the current
-// telemetry Dump as JSON.
+// Handler returns the /metrics HTTP handler. By default it serves the
+// telemetry Dump as JSON with Content-Type application/json; with
+// ?format=prom it serves the Prometheus text exposition (version 0.0.4)
+// with the matching text/plain content type, so standard scrapers and the
+// JSON-reading tooling share one endpoint.
 func Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r != nil && r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", PromContentType)
+			if err := WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		if err := WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -111,12 +111,16 @@ func AddWorkerChunks(w int, n int64) {
 	}
 }
 
-// Reset clears all counters, histograms, worker chunk claims, and recorded
-// spans. It does not change the enabled flag. Intended for tests and for
-// separating phases of a long-lived process.
+// Reset clears all counters, gauges (value and callback), histograms,
+// rolling windows, worker chunk claims, and recorded spans. It does not
+// change the enabled flag. Intended for tests and for separating phases of
+// a long-lived process.
 func Reset() {
 	counters.Range(func(k, _ any) bool { counters.Delete(k); return true })
 	histograms.Range(func(k, _ any) bool { histograms.Delete(k); return true })
+	gauges.Range(func(k, _ any) bool { gauges.Delete(k); return true })
+	gaugeFuncs.Range(func(k, _ any) bool { gaugeFuncs.Delete(k); return true })
+	rollings.Range(func(k, _ any) bool { rollings.Delete(k); return true })
 	for i := range workerChunks {
 		workerChunks[i].Store(0)
 	}
@@ -129,8 +133,13 @@ type Dump struct {
 	Enabled bool `json:"enabled"`
 	// Counters maps metric name to its current value.
 	Counters map[string]int64 `json:"counters"`
+	// Gauges maps metric name to its current value; callback gauges
+	// (SetGaugeFunc) are evaluated at snapshot time and merged in.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
 	// Histograms maps metric name to its distribution summary.
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Rolling maps metric name to its sliding-window summary.
+	Rolling map[string]RollingSnapshot `json:"rolling,omitempty"`
 	// WorkerChunkClaims[w] is the number of engine chunks claimed by worker
 	// slot w (trimmed at the last nonzero slot); skew across slots exposes
 	// load imbalance in the parallel scoring engine.
@@ -153,6 +162,27 @@ func Snapshot() *Dump {
 	})
 	histograms.Range(func(k, v any) bool {
 		d.Histograms[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	gauges.Range(func(k, v any) bool {
+		if d.Gauges == nil {
+			d.Gauges = map[string]float64{}
+		}
+		d.Gauges[k.(string)] = v.(*Gauge).Value()
+		return true
+	})
+	gaugeFuncs.Range(func(k, v any) bool {
+		if d.Gauges == nil {
+			d.Gauges = map[string]float64{}
+		}
+		d.Gauges[k.(string)] = v.(func() float64)()
+		return true
+	})
+	rollings.Range(func(k, v any) bool {
+		if d.Rolling == nil {
+			d.Rolling = map[string]RollingSnapshot{}
+		}
+		d.Rolling[k.(string)] = v.(*Rolling).Snapshot()
 		return true
 	})
 	last := -1

@@ -1,0 +1,525 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file maps the obs registry onto the Prometheus text exposition
+// format, version 0.0.4 (the `text/plain; version=0.0.4` media type), with
+// no dependency on the Prometheus client library.
+//
+// Metric names in obs are `/`-separated paths, optionally carrying an
+// explicit label block as a literal suffix:
+//
+//	serve/http/latency_ns{endpoint="predict"}
+//
+// Exposition mapping, applied uniformly:
+//
+//   - The base name (path minus label block) becomes
+//     `linkpred_<path with illegal runes replaced by '_'>`, so a stable
+//     Prometheus family collects every label set recorded under it.
+//   - Names following the predict-registry convention `predict/<Alg>/<m>`
+//     fold the algorithm segment into an `alg` label: family
+//     `linkpred_predict_<m>{alg="<Alg>"}`. This keeps the per-algorithm
+//     families stable as algorithms come and go.
+//   - Counters gain the conventional `_total` suffix. Histograms emit
+//     cumulative `_bucket{le=...}` series (from the log2 buckets), `_sum`
+//     and `_count`, plus `_p50`/`_p95`/`_p99` gauge families estimated by
+//     Histogram.Quantile. Rolling windows emit a `_window_*` gauge family
+//     (count, rate, quantiles). Worker chunk claims emit one counter family
+//     labeled by worker slot.
+
+// PromContentType is the Content-Type of the Prometheus text exposition.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// splitPromName splits an obs metric name into its family base path and
+// label block (without braces), applying the predict/<alg>/<metric>
+// convention.
+func splitPromName(name string) (base, labels string) {
+	base = name
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		base, labels = name[:i], name[i+1:len(name)-1]
+	}
+	if labels == "" {
+		if parts := strings.Split(base, "/"); len(parts) == 3 && parts[0] == "predict" {
+			base = "predict/" + parts[2]
+			labels = `alg="` + escapeLabelValue(parts[1]) + `"`
+		}
+	}
+	return base, labels
+}
+
+// promFamilyName sanitizes a base path into a legal Prometheus metric name.
+func promFamilyName(base string) string {
+	var b strings.Builder
+	b.WriteString("linkpred_")
+	for _, r := range base {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatPromValue renders a sample value; Prometheus accepts Go's 'g'
+// formatting including +Inf/-Inf/NaN.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promFamily accumulates the rendered sample lines of one metric family.
+type promFamily struct {
+	typ  string // counter | gauge | histogram
+	help string
+	rows []string
+}
+
+// promDoc collects families, keyed and emitted in sorted order.
+type promDoc struct {
+	fams map[string]*promFamily
+}
+
+func (d *promDoc) family(name, typ, help string) *promFamily {
+	f, ok := d.fams[name]
+	if !ok {
+		f = &promFamily{typ: typ, help: help}
+		d.fams[name] = f
+	}
+	return f
+}
+
+// row appends one sample line to a family, merging the family's label
+// block with extra labels (e.g. le or quantile suffix labels).
+func (f *promFamily) row(name, labels, extra string, value string) {
+	all := labels
+	if extra != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extra
+	}
+	if all != "" {
+		f.rows = append(f.rows, name+"{"+all+"} "+value)
+	} else {
+		f.rows = append(f.rows, name+" "+value)
+	}
+}
+
+// WritePrometheus renders the current telemetry state (counters, gauges,
+// histograms with quantile estimates, rolling windows, and the worker
+// chunk-claim vector) in the Prometheus text exposition format.
+func WritePrometheus(w io.Writer) error {
+	d := Snapshot()
+	doc := &promDoc{fams: map[string]*promFamily{}}
+
+	enabled := doc.family("linkpred_telemetry_enabled", "gauge", "whether obs collection is on")
+	v := "0"
+	if d.Enabled {
+		v = "1"
+	}
+	enabled.row("linkpred_telemetry_enabled", "", "", v)
+
+	for _, name := range sortedKeys(d.Counters) {
+		base, labels := splitPromName(name)
+		fam := promFamilyName(base) + "_total"
+		f := doc.family(fam, "counter", "obs counter "+base)
+		f.row(fam, labels, "", strconv.FormatInt(d.Counters[name], 10))
+	}
+	for _, name := range sortedKeys(d.Gauges) {
+		base, labels := splitPromName(name)
+		fam := promFamilyName(base)
+		f := doc.family(fam, "gauge", "obs gauge "+base)
+		f.row(fam, labels, "", formatPromValue(d.Gauges[name]))
+	}
+	for _, name := range sortedKeys(d.Histograms) {
+		base, labels := splitPromName(name)
+		fam := promFamilyName(base)
+		h := d.Histograms[name]
+		f := doc.family(fam, "histogram", "obs histogram "+base)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			f.row(fam+"_bucket", labels, `le="`+strconv.FormatInt(b.Le, 10)+`"`, strconv.FormatInt(cum, 10))
+		}
+		f.row(fam+"_bucket", labels, `le="+Inf"`, strconv.FormatInt(h.Count, 10))
+		f.row(fam+"_sum", labels, "", strconv.FormatInt(h.Sum, 10))
+		f.row(fam+"_count", labels, "", strconv.FormatInt(h.Count, 10))
+		for _, q := range []struct {
+			suffix string
+			v      int64
+		}{{"_p50", h.P50}, {"_p95", h.P95}, {"_p99", h.P99}} {
+			qf := doc.family(fam+q.suffix, "gauge", "estimated quantile of obs histogram "+base)
+			qf.row(fam+q.suffix, labels, "", strconv.FormatInt(q.v, 10))
+		}
+	}
+	for _, name := range sortedRollingKeys(d.Rolling) {
+		base, labels := splitPromName(name)
+		fam := promFamilyName(base) + "_window"
+		r := d.Rolling[name]
+		for _, g := range []struct {
+			suffix string
+			v      float64
+		}{
+			{"_seconds", r.WindowSeconds},
+			{"_count", float64(r.Count)},
+			{"_rate", r.Rate},
+			{"_p50", float64(r.P50)},
+			{"_p95", float64(r.P95)},
+			{"_p99", float64(r.P99)},
+		} {
+			gf := doc.family(fam+g.suffix, "gauge", "sliding window of obs metric "+base)
+			gf.row(fam+g.suffix, labels, "", formatPromValue(g.v))
+		}
+	}
+	if len(d.WorkerChunkClaims) > 0 {
+		fam := "linkpred_engine_worker_chunk_claims_total"
+		f := doc.family(fam, "counter", "engine chunks claimed per worker slot")
+		for i, n := range d.WorkerChunkClaims {
+			f.row(fam, `worker="`+strconv.Itoa(i)+`"`, "", strconv.FormatInt(n, 10))
+		}
+	}
+
+	names := make([]string, 0, len(doc.fams))
+	for name := range doc.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		f := doc.fams[name]
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, f.typ)
+		for _, row := range f.rows {
+			bw.WriteString(row)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedRollingKeys exists because Go's generics cannot unify the two map
+// value types at the call sites above without an explicit instantiation.
+func sortedRollingKeys(m map[string]RollingSnapshot) []string {
+	return sortedKeys(m)
+}
+
+// LintPrometheus parses a text exposition and returns an error describing
+// the first violation found: illegal metric or label names, malformed
+// sample lines, samples whose family lacks a TYPE declaration, or
+// histogram families with missing/non-cumulative buckets. It is the
+// parse-it-back check used by the exposition tests and by cmd/promlint in
+// the CI scrape smoke.
+func LintPrometheus(data []byte) error {
+	types := map[string]string{} // family -> type
+	// First pass: collect TYPE declarations (they are required to precede
+	// samples of their family; verified in the second pass).
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	samples := 0
+	seenType := map[string]bool{}
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	buckets := map[string][]bucket{} // histogram family+labels(minus le) -> buckets in order
+	counts := map[string]float64{}   // histogram family+labels -> _count value
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				if !legalMetricName(fields[2]) {
+					return fmt.Errorf("line %d: illegal metric name %q in TYPE", lineNo, fields[2])
+				}
+				switch t := fields[3]; t {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					if seenType[fields[2]] {
+						return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
+					}
+					seenType[fields[2]] = true
+					types[fields[2]] = t
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q", lineNo, fields[3])
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		samples++
+		fam, isBucket := sampleFamily(name, types)
+		if fam == "" {
+			return fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
+		}
+		if types[fam] == "histogram" {
+			key := fam + "|" + stripLabel(labels, "le")
+			switch {
+			case isBucket:
+				le := math.Inf(1)
+				if raw, ok := labelValue(labels, "le"); !ok {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				} else if raw != "+Inf" {
+					le, err = strconv.ParseFloat(raw, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad le %q", lineNo, raw)
+					}
+				}
+				buckets[key] = append(buckets[key], bucket{le: le, cum: value})
+			case strings.HasSuffix(name, "_count"):
+				counts[key] = value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	for key, bs := range buckets {
+		last := math.Inf(-1)
+		cum := math.Inf(-1)
+		hasInf := false
+		for _, b := range bs {
+			if b.le <= last {
+				return fmt.Errorf("histogram %s: le bounds not increasing", key)
+			}
+			if b.cum < cum {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative", key)
+			}
+			last, cum = b.le, b.cum
+			if math.IsInf(b.le, 1) {
+				hasInf = true
+			}
+		}
+		if !hasInf {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", key)
+		}
+		if c, ok := counts[key]; !ok {
+			return fmt.Errorf("histogram %s: missing _count", key)
+		} else if c != bs[len(bs)-1].cum {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", key, c, bs[len(bs)-1].cum)
+		}
+	}
+	return nil
+}
+
+// sampleFamily resolves the family a sample line belongs to: the name
+// itself, or the name minus a histogram/summary suffix. The second return
+// reports a histogram _bucket sample.
+func sampleFamily(name string, types map[string]string) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, false
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, suf); base != name {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base, suf == "_bucket"
+			}
+		}
+	}
+	return "", false
+}
+
+func legalMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func legalLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// promLabel is one parsed label of a sample line.
+type promLabel struct{ name, value string }
+
+// parsePromSample parses `name[{labels}] value [timestamp]`.
+func parsePromSample(line string) (name string, labels []promLabel, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !legalMetricName(name) {
+		return "", nil, 0, fmt.Errorf("illegal metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed sample value in %q", line)
+	}
+	switch fields[0] {
+	case "+Inf":
+		value = math.Inf(1)
+	case "-Inf":
+		value = math.Inf(-1)
+	case "NaN":
+		value = math.NaN()
+	default:
+		value, err = strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("bad sample value %q", fields[0])
+		}
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses a `{name="value",...}` block, handling escaped quotes.
+func parseLabels(s string) (labels []promLabel, rest string, err error) {
+	if s == "" || s[0] != '{' {
+		return nil, s, fmt.Errorf("expected label block")
+	}
+	s = s[1:]
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, s, fmt.Errorf("malformed label block")
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !legalLabelName(lname) {
+			return nil, s, fmt.Errorf("illegal label name %q", lname)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, s, fmt.Errorf("label %s: unquoted value", lname)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return nil, s, fmt.Errorf("label %s: unterminated value", lname)
+			}
+			c := s[0]
+			if c == '\\' {
+				if len(s) < 2 {
+					return nil, s, fmt.Errorf("label %s: dangling escape", lname)
+				}
+				switch s[1] {
+				case '\\', '"':
+					val.WriteByte(s[1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, s, fmt.Errorf("label %s: bad escape \\%c", lname, s[1])
+				}
+				s = s[2:]
+				continue
+			}
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			val.WriteByte(c)
+			s = s[1:]
+		}
+		labels = append(labels, promLabel{name: lname, value: val.String()})
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+}
+
+// labelValue extracts one label's raw value from an inner label block
+// string (as stored by the lint bucket pass).
+func labelValue(labels []promLabel, name string) (string, bool) {
+	for _, l := range labels {
+		if l.name == name {
+			return l.value, true
+		}
+	}
+	return "", false
+}
+
+// stripLabel renders a label list minus one label, as a canonical key.
+func stripLabel(labels []promLabel, drop string) string {
+	var b strings.Builder
+	for _, l := range labels {
+		if l.name == drop {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.name)
+		b.WriteByte('=')
+		b.WriteString(l.value)
+	}
+	return b.String()
+}

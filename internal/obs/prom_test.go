@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the Prometheus exposition golden file")
+
+// populateFixture fills the registry with one deterministic instance of
+// every metric kind the exposition renders: a plain counter, a labeled
+// counter, a predict-convention counter, set and callback gauges, a
+// labeled histogram, and a rolling window driven by a frozen clock.
+func populateFixture() {
+	GetCounter("serve/deadline_exceeded").Add(3)
+	GetCounter(`liveeval/hits{alg="CN"}`).Add(7)
+	GetCounter("predict/CN/pairs_scored").Add(1234)
+
+	GetGauge("serve/snapshot_seq").Set(5)
+	GetGauge(`serve/http/in_flight{endpoint="predict"}`).Set(2)
+	SetGaugeFunc("serve/queue_len", func() float64 { return 4 })
+
+	h := GetHistogram(`serve/http/latency_ns{endpoint="predict"}`)
+	for _, v := range []int64{100, 200, 400, 800, 1600, 3200} {
+		h.Observe(v)
+	}
+
+	r := GetRolling(`serve/http/latency_ns{endpoint="predict"}`, time.Minute)
+	for _, v := range []int64{100, 200, 400, 800} {
+		r.Add(v)
+	}
+}
+
+// TestWritePrometheusGolden renders a fixed registry state and compares it
+// byte-for-byte against testdata/metrics.golden.prom (regenerate with
+// `go test ./internal/obs -run Golden -update`). The golden output is also
+// required to pass LintPrometheus — the parse-it-back check — so the file
+// doubles as a pinned example of the exposition contract: family naming,
+// label conventions, cumulative buckets, quantile gauge families.
+func TestWritePrometheusGolden(t *testing.T) {
+	Reset()
+	Enable(true)
+	base := int64(1_700_000_000_000_000_000)
+	SetRollingClock(func() int64 { return base })
+	defer func() {
+		SetRollingClock(nil)
+		Enable(false)
+		Reset()
+	}()
+	populateFixture()
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := buf.Bytes()
+
+	if err := LintPrometheus(got); err != nil {
+		t.Fatalf("exposition does not lint: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "metrics.golden.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("exposition drifted from golden file; run with -update if intended.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPromNameMapping pins the two label conventions: explicit {label}
+// suffixes pass through, and predict/<Alg>/<metric> folds the algorithm
+// into an alg label on a stable family.
+func TestPromNameMapping(t *testing.T) {
+	for _, tc := range []struct {
+		in, base, labels string
+	}{
+		{`serve/http/latency_ns{endpoint="predict"}`, "serve/http/latency_ns", `endpoint="predict"`},
+		{"predict/CN/pairs_scored", "predict/pairs_scored", `alg="CN"`},
+		{"predict/KatzSC/predict_ns", "predict/predict_ns", `alg="KatzSC"`},
+		{"serve/deadline_exceeded", "serve/deadline_exceeded", ""},
+		{"engine/topk/heap_size", "engine/topk/heap_size", ""},
+	} {
+		base, labels := splitPromName(tc.in)
+		if base != tc.base || labels != tc.labels {
+			t.Errorf("splitPromName(%q) = (%q, %q), want (%q, %q)", tc.in, base, labels, tc.base, tc.labels)
+		}
+	}
+	if got := promFamilyName("serve/http/latency_ns"); got != "linkpred_serve_http_latency_ns" {
+		t.Errorf("promFamilyName = %q", got)
+	}
+}
+
+// TestLintPrometheusRejects feeds the linter representative violations; a
+// linter that cannot fail would make the golden round-trip vacuous.
+func TestLintPrometheusRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name, in, wantErr string
+	}{
+		{"no samples", "# TYPE x counter\n", "no samples"},
+		{"sample without TYPE", "linkpred_x_total 1\n", "no TYPE"},
+		{"illegal name", "# TYPE linkpred_x gauge\nlinkpred_x 1\n9bad 2\n", "illegal metric name"},
+		{"illegal TYPE name", "# TYPE 9bad counter\n9bad_total 1\n", "illegal metric name"},
+		{"bad value", "# TYPE linkpred_x gauge\nlinkpred_x hello\n", "bad sample value"},
+		{"unterminated label", "# TYPE linkpred_x gauge\nlinkpred_x{a=\"b 1\n", "unterminated"},
+		{
+			"non-cumulative buckets",
+			"# TYPE linkpred_h histogram\n" +
+				`linkpred_h_bucket{le="1"} 5` + "\n" +
+				`linkpred_h_bucket{le="2"} 3` + "\n" +
+				`linkpred_h_bucket{le="+Inf"} 5` + "\n" +
+				"linkpred_h_sum 10\nlinkpred_h_count 5\n",
+			"not cumulative",
+		},
+		{
+			"missing +Inf bucket",
+			"# TYPE linkpred_h histogram\n" +
+				`linkpred_h_bucket{le="1"} 5` + "\n" +
+				"linkpred_h_sum 10\nlinkpred_h_count 5\n",
+			"missing +Inf",
+		},
+		{
+			"count disagrees with +Inf",
+			"# TYPE linkpred_h histogram\n" +
+				`linkpred_h_bucket{le="+Inf"} 5` + "\n" +
+				"linkpred_h_sum 10\nlinkpred_h_count 6\n",
+			"_count",
+		},
+	} {
+		err := LintPrometheus([]byte(tc.in))
+		if err == nil {
+			t.Errorf("%s: lint accepted invalid input", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestLintPrometheusAcceptsEscapes covers label values with escaped quotes
+// and backslashes, which the serve layer can produce via %q formatting.
+func TestLintPrometheusAcceptsEscapes(t *testing.T) {
+	in := "# TYPE linkpred_x_total counter\n" +
+		`linkpred_x_total{a="q\"uote",b="back\\slash",c="new\nline"} 1` + "\n"
+	if err := LintPrometheus([]byte(in)); err != nil {
+		t.Fatalf("lint rejected escaped labels: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"linkpred/internal/gen"
 	"linkpred/internal/graph"
+	"linkpred/internal/liveeval"
 	"linkpred/internal/obs"
 )
 
@@ -80,15 +81,21 @@ func BenchmarkPredictParallel(b *testing.B) {
 
 // BenchmarkPredictTelemetry quantifies the telemetry tax on the hottest
 // path: CN.Predict with collection disabled (the default; the off/disabled
-// delta is the <2% overhead budget DESIGN.md §6 commits to) and enabled.
+// delta is the <2% overhead budget DESIGN.md §6 commits to), enabled, and
+// enabled with the full serving-side liveeval hook — recording every
+// prediction into a prequential engine and scoring a stream of ingested
+// edges against it, the way internal/serve wires it. The liveeval mode
+// exists so the accuracy loop's cost is measured against the same baseline
+// as the rest of the telemetry budget.
 func BenchmarkPredictTelemetry(b *testing.B) {
 	g, _ := benchGraph(b)
 	opt := DefaultOptions()
 	opt.Workers = 4
 	for _, mode := range []struct {
-		name    string
-		enabled bool
-	}{{"disabled", false}, {"enabled", true}} {
+		name     string
+		enabled  bool
+		liveeval bool
+	}{{"disabled", false, false}, {"enabled", true, false}, {"enabled-liveeval", true, true}} {
 		b.Run(mode.name, func(b *testing.B) {
 			obs.Reset()
 			obs.Enable(mode.enabled)
@@ -96,10 +103,25 @@ func BenchmarkPredictTelemetry(b *testing.B) {
 				obs.Enable(false)
 				obs.Reset()
 			}()
+			var eval *liveeval.Engine
+			if mode.liveeval {
+				eval = liveeval.New(liveeval.Config{TopK: 128, Ring: 4, Window: 1024, HalfLife: 256})
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if len(CN.Predict(g, 200, opt)) == 0 {
+				pairs := CN.Predict(g, 200, opt)
+				if len(pairs) == 0 {
 					b.Fatal("no predictions")
+				}
+				if eval != nil {
+					ranked := make([][2]graph.NodeID, len(pairs))
+					for j, p := range pairs {
+						ranked[j] = [2]graph.NodeID{p.U, p.V}
+					}
+					eval.Record("CN", int64(i), 0, i*64, ranked)
+					for e := 0; e < 64; e++ {
+						eval.ObserveEdge(graph.NodeID(e%500), graph.NodeID(500+e), i*64+e)
+					}
 				}
 			}
 		})

@@ -20,20 +20,60 @@ import (
 //	POST /ingest   {"events":[{"u":1,"v":2,"t":10},...]}
 //	POST /flush    — publish a snapshot of everything ingested so far
 //	GET  /healthz  — serving state
-//	GET  /metrics  — obs counter/histogram dump (JSON)
+//	GET  /metrics  — telemetry: JSON dump by default (application/json),
+//	                 Prometheus text exposition with ?format=prom
+//	                 (text/plain; version=0.0.4)
+//
+// Every endpoint is instrumented when obs is enabled: per-endpoint request
+// latency histograms plus one-minute rolling windows, in-flight gauges,
+// and per-status response counters, all labeled {endpoint=...}.
 //
 // Error mapping: unknown algorithm or malformed input → 400, queue full →
 // 429, request deadline → 504, aborted coalesced batch or closed server →
 // 503.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", s.handlePredict)
-	mux.HandleFunc("/score", s.handleScore)
-	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/flush", s.handleFlush)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.Handle("/metrics", obs.Handler())
+	mux.HandleFunc("/predict", instrument("predict", s.handlePredict))
+	mux.HandleFunc("/score", instrument("score", s.handleScore))
+	mux.HandleFunc("/ingest", instrument("ingest", s.handleIngest))
+	mux.HandleFunc("/flush", instrument("flush", s.handleFlush))
+	mux.HandleFunc("/healthz", instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", instrument("metrics", obs.Handler().ServeHTTP))
 	return mux
+}
+
+// statusWriter records the response status for the per-endpoint counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one endpoint with the serving-health surface:
+// request latency (cumulative histogram + one-minute rolling window for
+// scraper-free rates), an in-flight gauge, and per-status response
+// counters. One atomic load when telemetry is disabled.
+func instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !obs.Enabled() {
+			h(w, r)
+			return
+		}
+		inflight := obs.GetGauge(`serve/http/in_flight{endpoint="` + endpoint + `"}`)
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		lat := time.Since(start).Nanoseconds()
+		obs.GetHistogram(`serve/http/latency_ns{endpoint="` + endpoint + `"}`).Observe(lat)
+		obs.GetRolling(`serve/http/latency_ns{endpoint="`+endpoint+`"}`, time.Minute).Add(lat)
+		obs.GetCounter(fmt.Sprintf(`serve/http/responses{endpoint=%q,code="%d"}`, endpoint, sw.code)).Inc()
+	}
 }
 
 // httpError is the JSON error envelope.
@@ -72,15 +112,7 @@ func reqCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFu
 	return r.Context(), func() {}
 }
 
-func observeNS(name string, start time.Time) {
-	if obs.Enabled() {
-		obs.GetHistogram(name).Observe(time.Since(start).Nanoseconds())
-	}
-}
-
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	defer observeNS("serve/http/predict_ns", start)
 	q := r.URL.Query()
 	alg := q.Get("alg")
 	if alg == "" {
@@ -122,8 +154,6 @@ type scoreRequest struct {
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	defer observeNS("serve/http/score_ns", start)
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, httpError{Error: "POST required"})
 		return
@@ -160,8 +190,6 @@ type ingestResponse struct {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	defer observeNS("serve/http/ingest_ns", start)
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, httpError{Error: "POST required"})
 		return

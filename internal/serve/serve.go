@@ -21,10 +21,19 @@
 //     into one ScorePairs sweep (per-pair results are independent of batch
 //     composition, so coalescing is invisible in the payload).
 //   - Under pressure — rolling p95 latency or queue depth over threshold —
-//     latent-family requests (Katz, KatzSC, Rescal) degrade to their fused
+//     latent-family requests (Katz, KatzSC, Rescal) degrade to fused
 //     local-metric proxies and the response is flagged Degraded, with
-//     ServedBy naming the proxy. Recovery re-enables the latent path after
-//     a run of healthy observations (TestDegradationProperty).
+//     ServedBy naming the proxy. With a prequential engine attached
+//     (Config.Eval) the proxy is chosen by measured live accuracy-per-cost;
+//     otherwise a static table applies. Recovery re-enables the latent path
+//     after a run of healthy observations (TestDegradationProperty).
+//   - With Config.Eval set, the accuracy loop is closed: every /predict
+//     response is recorded into the prequential engine and every accepted
+//     ingest edge is scored against the predictions that existed before it
+//     arrived, producing live per-algorithm hit@k / MRR / precision /
+//     windowed-AUPR series in /metrics. The statistics are a deterministic
+//     function of the request sequence — bit-identical at any engine
+//     worker count (TestLiveEvalEndToEnd).
 package serve
 
 import (
@@ -37,6 +46,7 @@ import (
 	"time"
 
 	"linkpred/internal/graph"
+	"linkpred/internal/liveeval"
 	"linkpred/internal/obs"
 	"linkpred/internal/predict"
 )
@@ -89,6 +99,13 @@ type Config struct {
 	// Tests inject slow or instrumented scorers through it; the
 	// degradation proxies resolve through it too.
 	Resolve func(name string) (predict.Algorithm, error)
+	// Eval, when set, closes the accuracy loop: every /predict response is
+	// recorded into the prequential engine under the algorithm that
+	// actually served it, every accepted ingest edge is scored against the
+	// predictions that existed before it arrived, and the degradation
+	// controller routes latent algorithms to the proxy with the best
+	// measured accuracy-per-cost instead of the static table.
+	Eval *liveeval.Engine
 }
 
 // DegradeConfig tunes graceful degradation. Zero fields take defaults.
@@ -231,6 +248,18 @@ type Server struct {
 
 	cur atomic.Pointer[Snapshot]
 	deg *degrader
+
+	// traceLen mirrors len(trace.Edges) for lock-free reads on the query
+	// path (prequential eligibility floors, publish-lag gauge);
+	// lastPublishNS is the wall time of the latest snapshot publication
+	// (snapshot-age gauge).
+	traceLen      atomic.Int64
+	lastPublishNS atomic.Int64
+
+	// costMu guards cost, the per-served-algorithm decayed mean latency
+	// feeding the accuracy-per-cost routing.
+	costMu sync.Mutex
+	cost   map[string]float64
 }
 
 // New starts a server: applies defaults, publishes the initial snapshot
@@ -282,7 +311,9 @@ func New(cfg Config) (*Server, error) {
 		builder: graph.NewIncrementalBuilder(tr),
 		remap:   make(map[int64]graph.NodeID, tr.NumNodes()),
 		deg:     newDegrader(cfg.Degrade, cfg.QueueDepth),
+		cost:    make(map[string]float64),
 	}
+	s.traceLen.Store(int64(len(tr.Edges)))
 	// Warm-start IDs are the trace's own dense IDs.
 	s.rev = make([]int64, tr.NumNodes())
 	for i := range s.rev {
@@ -293,11 +324,44 @@ func New(cfg Config) (*Server, error) {
 	s.seq = -1 // the initial publication is seq 0
 	s.publishLocked()
 	s.mu.Unlock()
+	s.registerGauges()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// registerGauges publishes the serving-health callback gauges: evaluated
+// at scrape time, so snapshot age and queue depth are current without the
+// server pushing updates. Re-registration (a newer server in the same
+// process) replaces the callbacks; the closures only read atomics and are
+// safe after Close.
+func (s *Server) registerGauges() {
+	obs.SetGaugeFunc("serve/snapshot_seq", func() float64 {
+		return float64(s.cur.Load().Seq)
+	})
+	obs.SetGaugeFunc("serve/snapshot_edges", func() float64 {
+		return float64(s.cur.Load().Edges)
+	})
+	obs.SetGaugeFunc("serve/snapshot_age_seconds", func() float64 {
+		return time.Duration(time.Now().UnixNano() - s.lastPublishNS.Load()).Seconds()
+	})
+	obs.SetGaugeFunc("serve/publish_lag_edges", func() float64 {
+		return float64(s.traceLen.Load() - int64(s.cur.Load().Edges))
+	})
+	obs.SetGaugeFunc("serve/trace_edges", func() float64 {
+		return float64(s.traceLen.Load())
+	})
+	obs.SetGaugeFunc("serve/queue_len", func() float64 {
+		return float64(len(s.queue))
+	})
+	obs.SetGaugeFunc("serve/degraded", func() float64 {
+		if s.deg.degraded() {
+			return 1
+		}
+		return 0
+	})
 }
 
 // Close stops the server: in-flight requests finish, queued requests are
@@ -370,6 +434,13 @@ func (s *Server) Ingest(events []Event) (accepted, rejected int, err error) {
 		}
 		accepted++
 		s.pending++
+		s.traceLen.Store(int64(len(s.trace.Edges)))
+		if s.cfg.Eval != nil {
+			// The prequential step: this edge, identified by its trace
+			// index, is scored against every prediction recorded before it
+			// arrived (the engine enforces the epoch boundary).
+			s.cfg.Eval.ObserveEdge(u, v, len(s.trace.Edges)-1)
+		}
 		if s.pending >= s.cfg.SnapshotEvery {
 			s.publishLocked()
 		}
@@ -443,9 +514,14 @@ func (s *Server) publishLocked() *Snapshot {
 	if s.cfg.OnPublish != nil {
 		s.cfg.OnPublish(snap)
 	}
+	prev := s.cur.Load()
 	s.cur.Store(snap)
+	s.lastPublishNS.Store(time.Now().UnixNano())
 	if obs.Enabled() {
 		obs.GetCounter("serve/snapshots_published").Inc()
+		if prev != nil {
+			obs.GetHistogram("serve/publish_batch_edges").Observe(int64(snap.Edges - prev.Edges))
+		}
 	}
 	if s.cfg.Warm {
 		s.wg.Add(1)
@@ -589,13 +665,77 @@ func (s *Server) finishDeadline(r *request) {
 	r.done <- outcome{err: r.ctx.Err()}
 }
 
+// proxyCandidates are the fused local metrics eligible to answer for a
+// degraded latent algorithm, in deterministic preference order.
+var proxyCandidates = []string{"AA", "RA", "CN"}
+
+// proxyFor picks the degradation proxy for a latent-family algorithm. With
+// a prequential engine attached the choice is data-driven: the candidate
+// with the best measured accuracy-per-cost — decayed live hit rate divided
+// by decayed mean sweep latency — wins, so the controller degrades onto
+// whichever cheap metric is actually predicting well on the live network.
+// With no engine, or before any candidate has been measured, the static
+// table applies.
+func (s *Server) proxyFor(name string) (string, bool) {
+	static, ok := latentProxy[name]
+	if !ok {
+		return "", false
+	}
+	if s.cfg.Eval == nil {
+		return static, true
+	}
+	best, bestScore := static, -1.0
+	for _, cand := range proxyCandidates {
+		acc, measured := s.cfg.Eval.Accuracy(cand)
+		if !measured {
+			continue
+		}
+		if score := acc / s.costSeconds(cand); score > bestScore {
+			best, bestScore = cand, score
+		}
+	}
+	return best, true
+}
+
+// noteCost folds one served sweep's latency into the per-algorithm decayed
+// mean feeding accuracy-per-cost routing.
+func (s *Server) noteCost(alg string, lat time.Duration) {
+	s.costMu.Lock()
+	if c, ok := s.cost[alg]; ok {
+		s.cost[alg] = c + 0.2*(lat.Seconds()-c)
+	} else {
+		s.cost[alg] = lat.Seconds()
+	}
+	s.costMu.Unlock()
+}
+
+// costSeconds returns the decayed mean latency of alg with a 1µs floor to
+// keep the accuracy-per-cost ratio finite; an unmeasured algorithm prices
+// at 1ms so a never-tried proxy is neither free nor prohibitive.
+func (s *Server) costSeconds(alg string) float64 {
+	s.costMu.Lock()
+	c, ok := s.cost[alg]
+	s.costMu.Unlock()
+	switch {
+	case !ok || c == 0:
+		return 1e-3
+	case c < 1e-6:
+		return 1e-6
+	}
+	return c
+}
+
 // route resolves the algorithm serving a request: under degradation,
-// latent-family names route to their local-metric proxies.
+// latent-family names route to a local-metric proxy (accuracy-per-cost
+// ranked when a prequential engine is attached).
 func (s *Server) route(name string) (predict.Algorithm, string, bool, error) {
 	if s.deg.degraded() {
-		if proxy, ok := latentProxy[name]; ok {
+		if proxy, ok := s.proxyFor(name); ok {
 			a, err := s.cfg.Resolve(proxy)
 			if err == nil {
+				if obs.Enabled() {
+					obs.GetCounter(`serve/degrade_routed{from="` + name + `",to="` + proxy + `"}`).Inc()
+				}
 				return a, proxy, true, nil
 			}
 		}
@@ -637,7 +777,21 @@ func (s *Server) servePredict(r *request, snap *Snapshot) {
 	for i, p := range pairs {
 		res.Pairs[i] = PairScore{U: s.external(p.U), V: s.external(p.V), Score: p.Score}
 	}
-	s.noteServed(degraded, start)
+	if degraded && obs.Enabled() {
+		obs.GetCounter("serve/degraded_responses").Inc()
+	}
+	if s.cfg.Eval != nil {
+		// Prequential record: the ranked top-k in dense IDs, keyed by the
+		// snapshot epoch it was computed on, credited to the algorithm
+		// that actually ran. The current trace length fences off edges
+		// that arrived before this response existed.
+		ranked := make([][2]graph.NodeID, len(pairs))
+		for i, p := range pairs {
+			ranked[i] = [2]graph.NodeID{p.U, p.V}
+		}
+		s.cfg.Eval.Record(served, snap.Seq, snap.Edges, int(s.traceLen.Load()), ranked)
+	}
+	s.noteServed(r.alg, served, time.Since(start))
 	r.done <- outcome{res: res}
 }
 
@@ -729,14 +883,17 @@ func (s *Server) serveScoreGroup(grp []*request, snap *Snapshot) {
 		}
 		r.done <- outcome{res: res}
 	}
-	s.deg.observe(time.Since(start), len(s.queue))
+	s.noteServed(leader.alg, served, time.Since(start))
 }
 
-// noteServed records one served predict sweep: the degraded-response
-// counter and the degradation controller's latency/queue observation.
-func (s *Server) noteServed(degraded bool, start time.Time) {
-	if degraded && obs.Enabled() {
-		obs.GetCounter("serve/degraded_responses").Inc()
+// noteServed records one executed sweep: the per-(requested, served)
+// routing counter, the served algorithm's decayed latency cost for
+// accuracy-per-cost routing, and the degradation controller's
+// latency/queue observation.
+func (s *Server) noteServed(reqAlg, served string, lat time.Duration) {
+	s.noteCost(served, lat)
+	if obs.Enabled() {
+		obs.GetCounter(`serve/served{alg="` + reqAlg + `",by="` + served + `"}`).Inc()
 	}
-	s.deg.observe(time.Since(start), len(s.queue))
+	s.deg.observe(lat, len(s.queue))
 }
