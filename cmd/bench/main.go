@@ -35,6 +35,7 @@ import (
 	"os/exec"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"time"
 
@@ -71,6 +72,36 @@ type scalingResult struct {
 	Identical       bool    `json:"identical_topk"`
 }
 
+// shardResult is one (preset, algorithm, workers, shards) row of the
+// -shards sweep: the source-sharded scatter/gather path (DESIGN.md §12)
+// timed against the unrestricted single sweep. Each shard's restricted
+// Predict is timed on its own and the simulated cluster wall-clock is
+// max(per-shard ns) + merge ns — the honest model for one-machine
+// measurement of an N-machine deployment (shards run concurrently on
+// separate workers in production, sequentially here).
+type shardResult struct {
+	Preset    string `json:"preset"`
+	Nodes     int    `json:"nodes"`
+	Edges     int    `json:"edges"`
+	Algorithm string `json:"algorithm"`
+	Workers   int    `json:"workers"`
+	Shards    int    `json:"shards"`
+	// SingleNs is the unrestricted sweep; MaxShardNs/SumShardNs the
+	// slowest and total per-shard restricted sweeps; MergeNs the
+	// gather-side MergeTopK fold of the partial lists.
+	SingleNs   int64 `json:"single_ns_per_op"`
+	MaxShardNs int64 `json:"max_shard_ns_per_op"`
+	SumShardNs int64 `json:"sum_shard_ns_per_op"`
+	MergeNs    int64 `json:"merge_ns_per_op"`
+	WallNs     int64 `json:"wall_ns_per_op"`
+	// Speedup is SingleNs / WallNs — the scale-out win at this shard
+	// count, net of merge overhead and shard imbalance.
+	Speedup float64 `json:"speedup_vs_single"`
+	// Identical confirms the merged top-k is bit-identical to the single
+	// sweep — the cluster's core determinism contract.
+	Identical bool `json:"identical_topk"`
+}
+
 // output is the file-level schema. The metadata fields stamp which build
 // and machine produced the numbers, so checked-in BENCH_predict.json files
 // from different runs stay comparable.
@@ -89,6 +120,8 @@ type output struct {
 	// preset and graph size, so rows from different scale points coexist
 	// in one file.
 	Scaling []scalingResult `json:"scaling,omitempty"`
+	// Sharded holds the -shards scatter/gather rows.
+	Sharded []shardResult `json:"sharded,omitempty"`
 	// Telemetry carries the obs dump when collection was enabled (-obs,
 	// -debug-addr or -progress), exposing per-algorithm latency histograms
 	// and engine chunk-claim counts next to the wall-clock timings.
@@ -144,7 +177,7 @@ func compareOutputs(w io.Writer, old, cur *output, threshold float64) int {
 		// their own preset per row, so those still compare.
 		fmt.Fprintf(w, "note: main configs differ (old %s@%g, new %s@%g); skipping main rows\n",
 			old.Preset, old.Scale, cur.Preset, cur.Scale)
-		return compareScaling(w, old, cur, threshold)
+		return compareScaling(w, old, cur, threshold) + compareSharded(w, old, cur, threshold)
 	}
 	if old.GOMAXPROCS != cur.GOMAXPROCS {
 		fmt.Fprintf(w, "note: GOMAXPROCS differs (old %d, new %d); parallel-row ratios are cross-machine\n",
@@ -174,6 +207,7 @@ func compareOutputs(w io.Writer, old, cur *output, threshold float64) int {
 		fmt.Fprintf(w, "%-10s workers=%-2d only in old file\n", c.alg, c.workers)
 	}
 	regressions += compareScaling(w, old, cur, threshold)
+	regressions += compareSharded(w, old, cur, threshold)
 	return regressions
 }
 
@@ -212,6 +246,45 @@ func compareScaling(w io.Writer, old, cur *output, threshold float64) int {
 			regressions++
 		}
 		fmt.Fprintf(w, "%-12s %-10s workers=%-2d %14d %14d %8.2fx%s\n", r.Preset, r.Algorithm, r.Workers, oldNs, r.PrunedNs, ratio, tag)
+	}
+	return regressions
+}
+
+// compareSharded diffs the -shards rows on the (preset, algorithm, workers,
+// shards) key; the simulated cluster wall-clock is the tracked number.
+func compareSharded(w io.Writer, old, cur *output, threshold float64) int {
+	if len(old.Sharded) == 0 || len(cur.Sharded) == 0 {
+		return 0
+	}
+	type cell struct {
+		preset  string
+		alg     string
+		workers int
+		shards  int
+	}
+	prev := make(map[cell]int64, len(old.Sharded))
+	for _, r := range old.Sharded {
+		prev[cell{r.Preset, r.Algorithm, r.Workers, r.Shards}] = r.WallNs
+	}
+	regressions := 0
+	fmt.Fprintf(w, "\nsharded rows (wall ns/op = max shard + merge):\n")
+	fmt.Fprintf(w, "%-12s %-10s %-9s %-8s %14s %14s %9s\n", "preset", "algorithm", "workers", "shards", "old ns/op", "new ns/op", "old/new")
+	for _, r := range cur.Sharded {
+		oldNs, ok := prev[cell{r.Preset, r.Algorithm, r.Workers, r.Shards}]
+		if !ok {
+			fmt.Fprintf(w, "%-12s %-10s workers=%-2d shards=%-2d %14s %14d %9s\n", r.Preset, r.Algorithm, r.Workers, r.Shards, "-", r.WallNs, "new")
+			continue
+		}
+		ratio := 0.0
+		if r.WallNs > 0 {
+			ratio = float64(oldNs) / float64(r.WallNs)
+		}
+		tag := ""
+		if ratio < threshold {
+			tag = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-12s %-10s workers=%-2d shards=%-2d %14d %14d %8.2fx%s\n", r.Preset, r.Algorithm, r.Workers, r.Shards, oldNs, r.WallNs, ratio, tag)
 	}
 	return regressions
 }
@@ -266,6 +339,117 @@ func allPairsNs(alg predict.Algorithm, g *graph.Graph, opt predict.Options) int6
 	return time.Since(start).Nanoseconds()
 }
 
+// presetGraphs caches generated preset snapshots so -scaling and -shards
+// sweeps over the same preset pay the (minutes-scale at 10⁶ nodes)
+// generation cost once.
+var presetGraphs = map[string]*graph.Graph{}
+
+func presetGraph(name string, seed int64) (*graph.Graph, error) {
+	if g, ok := presetGraphs[name]; ok {
+		return g, nil
+	}
+	cfg, err := preset(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	tr := gen.MustGenerate(cfg)
+	cuts := tr.Cuts(gen.DefaultDelta(cfg))
+	g := tr.SnapshotAtEdge(cuts[len(cuts)-2].EdgeCount)
+	presetGraphs[name] = g
+	return g, nil
+}
+
+// runSharded times the cluster's scatter/gather path in process: for each
+// shard count, one range-restricted Predict per source shard (DESIGN.md
+// §12) plus the MergeTopK fold of the partial lists, against the
+// unrestricted single sweep. Shards are timed sequentially and the
+// simulated cluster wall-clock is max(per-shard ns) + merge ns — on this
+// one machine that is the faithful model of N workers sweeping their
+// ranges concurrently, while sum_ns shows the total compute the cluster
+// spends. Bit-identity of the merged top-k against the single sweep is
+// checked on every row; a mismatch is a contract violation and fails the
+// run.
+func runSharded(o *output, presets, algNames []string, seed int64, k int, counts, shardCounts []int, mintime time.Duration, maxIters int) error {
+	for _, name := range presets {
+		g, err := presetGraph(name, seed)
+		if err != nil {
+			return err
+		}
+		n := g.NumNodes()
+		fmt.Printf("sharded %s: %d nodes, %d edges\n", name, n, g.NumEdges())
+		for _, algName := range algNames {
+			alg, err := predict.ByName(algName)
+			if err != nil {
+				return fmt.Errorf("-shards: %w", err)
+			}
+			for _, w := range counts {
+				opt := predict.DefaultOptions()
+				opt.Workers = w
+				single := alg.Predict(g, k, opt) // warm + reference output
+				singleNs := measure(mintime, maxIters, func() { alg.Predict(g, k, opt) })
+				for _, shards := range shardCounts {
+					// Degree-weighted boundaries, matching what each cluster
+					// worker derives from its own snapshot — equal-count
+					// ranges would leave the hub-heavy low-ID shard with
+					// most of the sweep.
+					ranges := predict.WeightedSourceRanges(g, shards)
+					parts := make([][]predict.Pair, shards)
+					var maxNs, sumNs int64
+					for s := 0; s < shards; s++ {
+						sOpt := opt
+						r := ranges[s]
+						sOpt.SourceRange = &r
+						parts[s] = alg.Predict(g, k, sOpt)
+						ns := measure(mintime, maxIters, func() { alg.Predict(g, k, sOpt) })
+						sumNs += ns
+						if ns > maxNs {
+							maxNs = ns
+						}
+					}
+					merged := predict.MergeTopK(parts, k, opt.Seed)
+					mergeNs := measure(mintime, maxIters, func() { predict.MergeTopK(parts, k, opt.Seed) })
+					identical := len(merged) == len(single)
+					if identical {
+						for i := range merged {
+							if merged[i] != single[i] {
+								identical = false
+								break
+							}
+						}
+					}
+					wall := maxNs + mergeNs
+					speedup := 0.0
+					if wall > 0 {
+						speedup = float64(singleNs) / float64(wall)
+					}
+					o.Sharded = append(o.Sharded, shardResult{
+						Preset:     name,
+						Nodes:      n,
+						Edges:      g.NumEdges(),
+						Algorithm:  alg.Name(),
+						Workers:    w,
+						Shards:     shards,
+						SingleNs:   singleNs,
+						MaxShardNs: maxNs,
+						SumShardNs: sumNs,
+						MergeNs:    mergeNs,
+						WallNs:     wall,
+						Speedup:    speedup,
+						Identical:  identical,
+					})
+					fmt.Printf("%-12s %-8s workers=%-2d shards=%-2d single %12s/op  wall %12s/op  (max shard %s + merge %s)  speedup=%.2fx\n",
+						name, alg.Name(), w, shards, time.Duration(singleNs), time.Duration(wall),
+						time.Duration(maxNs), time.Duration(mergeNs), speedup)
+					if !identical {
+						return fmt.Errorf("-shards: %s %s workers=%d shards=%d: merged top-k differs from single sweep", name, alg.Name(), w, shards)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // runScaling generates each named preset at its native size and, for every
 // local metric and worker count, times the default (pruned) Predict against
 // the exhaustive sweep, checking the two top-k outputs are bit-identical.
@@ -273,13 +457,10 @@ func allPairsNs(alg predict.Algorithm, g *graph.Graph, opt predict.Options) int6
 // error. Rows are appended to o.Scaling.
 func runScaling(o *output, presets, algNames []string, seed int64, k int, counts []int, mintime time.Duration, maxIters int, allPairs bool) error {
 	for _, name := range presets {
-		cfg, err := preset(name, seed)
+		g, err := presetGraph(name, seed)
 		if err != nil {
 			return err
 		}
-		tr := gen.MustGenerate(cfg)
-		cuts := tr.Cuts(gen.DefaultDelta(cfg))
-		g := tr.SnapshotAtEdge(cuts[len(cuts)-2].EdgeCount)
 		fmt.Printf("scaling %s: %d nodes, %d edges\n", name, g.NumNodes(), g.NumEdges())
 		if allPairs && g.NumNodes() > maxAllPairsNodes {
 			fmt.Printf("scaling %s: skipping all-pairs baseline (%d nodes > %d; N²/2 pairs would take hours)\n",
@@ -375,6 +556,8 @@ func main() {
 	scaling := flag.String("scaling", "", "comma-separated presets for the pruned-vs-exhaustive local-metric sweep (e.g. renren-100k,renren-1m)")
 	scalingAlgs := flag.String("scaling-algs", "", "local metrics for -scaling (default: the full 12-metric local family)")
 	allPairs := flag.Bool("allpairs", false, "also time the O(N²) all-pairs baseline per -scaling row (expensive: N(N-1)/2 scored pairs per measurement)")
+	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the scatter/gather sweep (e.g. 2,4,8); simulates the cluster's source-sharded prediction in process")
+	shardPresets := flag.String("shard-presets", "renren-100k", "comma-separated presets for the -shards sweep")
 	failOnRegress := flag.Bool("fail-on-regress", false, "exit nonzero when -compare finds a regression beyond 10%")
 	short := flag.Bool("short", false, "smoke mode: one iteration per cell, local-only default algorithm set")
 	obsOn := flag.Bool("obs", false, "collect telemetry and embed the dump in the output JSON")
@@ -491,6 +674,33 @@ func main() {
 			}
 		}
 		if err := runScaling(&o, presets, algNames, *seed, *k, counts, *mintime, *maxIters, *allPairs); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *shardsFlag != "" {
+		var shardCounts []int
+		for _, s := range strings.Split(*shardsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "bench: -shards: bad count %q\n", s)
+				os.Exit(2)
+			}
+			shardCounts = append(shardCounts, v)
+		}
+		presets := strings.Split(*shardPresets, ",")
+		for i := range presets {
+			presets[i] = strings.TrimSpace(presets[i])
+		}
+		algNames := localFamily
+		if *scalingAlgs != "" {
+			algNames = nil
+			for _, name := range strings.Split(*scalingAlgs, ",") {
+				algNames = append(algNames, strings.TrimSpace(name))
+			}
+		}
+		if err := runSharded(&o, presets, algNames, *seed, *k, counts, shardCounts, *mintime, *maxIters); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}

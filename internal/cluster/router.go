@@ -1,0 +1,732 @@
+// Package cluster implements horizontal scale-out for prediction serving:
+// a thin router in front of N linkpredd workers, each answering for one
+// contiguous source-node shard of the candidate universe (DESIGN.md §12).
+//
+// The scatter/gather contract: every shard holds the FULL graph (ingest is
+// replicated to all shards in identical order), but /predict?shard=i&shards=N
+// restricts the sweep to pairs owned by shard i — those whose min endpoint
+// falls in ShardSourceRange(n, i, N). The shard ranges partition the dense
+// node space, so the union of the shards' ownership universes is exactly the
+// unrestricted candidate universe, and merging the N partial top-k lists
+// with predict.MergeTopK — which reuses the engine's seeded tie-break hash —
+// reproduces the single-process top-k bit for bit, at any shard count and
+// any per-shard worker count.
+//
+// Epoch consistency: the merge is only meaningful when every partial list
+// was computed against the same snapshot. The router tags each response
+// with its snapshot sequence number, takes the maximum across the gather,
+// and re-asks stale shards (bounded retries with backoff) until all ranges
+// agree — a shard that just published seq s+1 pulls the others forward
+// rather than being discarded. Shards that stay down or stay behind yield a
+// partial response: partial:true plus the missing source ranges, so the
+// caller knows exactly which slice of the universe is unaccounted for.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"linkpred/internal/graph"
+	"linkpred/internal/obs"
+	"linkpred/internal/predict"
+	"linkpred/internal/serve"
+)
+
+// Config parameterizes a Router. Shards is required; everything else has a
+// serviceable default.
+type Config struct {
+	// Shards lists the worker base URLs (e.g. http://127.0.0.1:8081), one
+	// per source shard, in shard-index order. The order is the sharding:
+	// Shards[i] answers for ShardSourceRange(n, i, len(Shards)).
+	Shards []string
+	// Seed must equal every shard's engine seed (predict.Options.Seed):
+	// the gather merge breaks score ties with the same seeded hash the
+	// shards used, which is what makes the merged ranking bit-identical
+	// to a single-process sweep.
+	Seed int64
+	// Client issues the fan-out requests (default: http.Client with the
+	// router's Timeout).
+	Client *http.Client
+	// Timeout bounds each scatter/gather when the request carries no
+	// explicit budget (default 10s). Explicit timeout_ms wins.
+	Timeout time.Duration
+	// HedgeAfter launches one backup request against a straggling shard
+	// after this delay (default 150ms; 0 keeps the default, negative
+	// disables hedging). First response wins; the loser is cancelled.
+	HedgeAfter time.Duration
+	// EpochRetries bounds how many times a stale shard is re-asked to
+	// catch up to the gather's maximum snapshot epoch (default 4).
+	EpochRetries int
+	// EpochBackoff is the wait between epoch re-asks (default 25ms): the
+	// stale shard's publish is usually mid-flight, not missing.
+	EpochBackoff time.Duration
+}
+
+// Response is a merged cluster answer. For a full gather it serializes
+// byte-identically to a single node's serve.Result (the omitempty cluster
+// fields stay absent); a degraded gather adds partial:true and the source
+// ranges no aligned shard answered for.
+type Response struct {
+	serve.Result
+	Partial       bool     `json:"partial,omitempty"`
+	MissingRanges [][2]int `json:"missing_ranges,omitempty"`
+}
+
+// IngestResult reports one replicated ingest fan-out.
+type IngestResult struct {
+	Accepted    int   `json:"accepted"`
+	Rejected    int   `json:"rejected"`
+	SnapshotSeq int64 `json:"snapshot_seq"`
+	TraceEdges  int   `json:"trace_edges"`
+	// ShardErrors counts shards that failed to apply the batch. Non-zero
+	// means the cluster has diverged (see Router doc) — surfaced, not
+	// hidden, so the operator can restart the lagging shard.
+	ShardErrors int `json:"shard_errors,omitempty"`
+}
+
+// ShardHealth is one worker's view in the aggregate health payload.
+type ShardHealth struct {
+	Shard int    `json:"shard"`
+	URL   string `json:"url"`
+	Up    bool   `json:"up"`
+	Err   string `json:"err,omitempty"`
+	serve.Health
+}
+
+// ClusterHealth is the router's /healthz payload.
+type ClusterHealth struct {
+	OK        bool          `json:"ok"`
+	Shards    int           `json:"shards"`
+	ShardsUp  int           `json:"shards_up"`
+	EpochSkew int64         `json:"epoch_skew"`
+	Workers   []ShardHealth `json:"workers"`
+}
+
+// ErrAllShardsDown reports a gather in which no shard produced a usable
+// response.
+var ErrAllShardsDown = errors.New("cluster: all shards down")
+
+// Router scatters predict requests across source shards and gathers the
+// partial top-k lists into the bit-identical global ranking. It holds no
+// graph state of its own: shards are the system of record, and the router's
+// only invariants are (a) replicated ingest order and (b) same-epoch merge.
+//
+// Known limitation (ROADMAP item 2): if a shard misses an ingest batch
+// (crash, partition), its trace diverges and its snapshots stop matching
+// the others' — the router detects this as persistent epoch misalignment
+// and serves partial responses for that shard's ranges, but recovery
+// (replaying the WAL into the lagging shard) is out of scope until the
+// durable-trace work lands.
+type Router struct {
+	cfg    Config
+	client *http.Client
+
+	// ingestMu serializes ingest fan-outs so every shard applies batches
+	// in the same order — the whole epoch-consistency protocol rests on
+	// identical traces producing identical snapshot sequences.
+	ingestMu sync.Mutex
+
+	// rr round-robins /score forwards across shards.
+	rr atomic.Uint64
+
+	// lastSeq tracks each shard's most recently observed snapshot epoch,
+	// feeding the epoch-skew gauge.
+	lastSeq []atomic.Int64
+}
+
+// New builds a Router. It panics on an empty shard list — a router with
+// nothing behind it is a configuration error, not a runtime state.
+func New(cfg Config) *Router {
+	if len(cfg.Shards) == 0 {
+		panic("cluster: Config.Shards is empty")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = 150 * time.Millisecond
+	}
+	if cfg.EpochRetries <= 0 {
+		cfg.EpochRetries = 4
+	}
+	if cfg.EpochBackoff <= 0 {
+		cfg.EpochBackoff = 25 * time.Millisecond
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	r := &Router{cfg: cfg, client: client, lastSeq: make([]atomic.Int64, len(cfg.Shards))}
+	if obs.Enabled() {
+		obs.SetGaugeFunc("cluster/shards", func() float64 { return float64(len(cfg.Shards)) })
+		obs.SetGaugeFunc("cluster/epoch_skew", func() float64 { return float64(r.epochSkew()) })
+	}
+	return r
+}
+
+// epochSkew is max-min of the last observed per-shard snapshot epochs.
+func (r *Router) epochSkew() int64 {
+	var lo, hi int64
+	for i := range r.lastSeq {
+		s := r.lastSeq[i].Load()
+		if i == 0 || s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return hi - lo
+}
+
+// shardResp is one gathered partial response.
+type shardResp struct {
+	shard int
+	res   *serve.Result
+	err   error
+}
+
+// fetchShard asks shard i for its partial top-k, with one retry on failure
+// and one hedged backup after cfg.HedgeAfter. At most two attempts are ever
+// in flight; the first success wins and cancels the other.
+func (r *Router) fetchShard(ctx context.Context, shard int, alg string, k int) (*serve.Result, error) {
+	u := fmt.Sprintf("%s/predict?alg=%s&k=%d&shard=%d&shards=%d",
+		r.cfg.Shards[shard], url.QueryEscape(alg), k, shard, len(r.cfg.Shards))
+	type attempt struct {
+		res *serve.Result
+		err error
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan attempt, 2)
+	launch := func() {
+		go func() {
+			res, err := r.getResult(ctx, u)
+			results <- attempt{res, err}
+		}()
+	}
+	launch()
+	launched, done := 1, 0
+	var hedge <-chan time.Time
+	if r.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(r.cfg.HedgeAfter)
+		defer t.Stop()
+		hedge = t.C
+	}
+	var firstErr error
+	for {
+		select {
+		case <-ctx.Done():
+			if firstErr != nil {
+				return nil, firstErr
+			}
+			return nil, ctx.Err()
+		case <-hedge:
+			hedge = nil
+			if launched < 2 {
+				launched++
+				if obs.Enabled() {
+					obs.GetCounter("cluster/shard_hedges").Inc()
+				}
+				launch()
+			}
+		case a := <-results:
+			done++
+			if a.err == nil {
+				r.lastSeq[shard].Store(a.res.SnapshotSeq)
+				return a.res, nil
+			}
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			if obs.Enabled() {
+				obs.GetCounter(fmt.Sprintf(`cluster/shard_errors{shard="%d"}`, shard)).Inc()
+			}
+			if launched < 2 && ctx.Err() == nil {
+				// Retry immediately rather than waiting out the hedge
+				// timer: the shard failed fast, so ask again fast.
+				launched++
+				if obs.Enabled() {
+					obs.GetCounter("cluster/shard_retries").Inc()
+				}
+				launch()
+			} else if done == launched {
+				return nil, firstErr
+			}
+		}
+	}
+}
+
+// getResult issues one GET and decodes a serve.Result, recording the
+// per-shard latency histogram.
+func (r *Router) getResult(ctx context.Context, u string) (*serve.Result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: shard status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var res serve.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, fmt.Errorf("cluster: bad shard response: %w", err)
+	}
+	if obs.Enabled() {
+		obs.GetHistogram("cluster/shard_latency_ns").Observe(time.Since(start).Nanoseconds())
+	}
+	return &res, nil
+}
+
+// Predict scatters alg/k across all shards, gathers same-epoch partial
+// lists, and merges them into the global top-k. A fully aligned gather is
+// bit-identical to a single-process sweep; a gather with dead or
+// persistently stale shards returns partial:true with their source ranges.
+// It fails with ErrAllShardsDown only when no shard answered at all.
+func (r *Router) Predict(ctx context.Context, alg string, k int) (*Response, error) {
+	if obs.Enabled() {
+		obs.GetCounter("cluster/scatter_requests").Inc()
+	}
+	// The caller's deadline is the scatter budget (the HTTP layer derives
+	// it from timeout_ms); fall back to the router default only when the
+	// request carries none.
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.Timeout)
+		defer cancel()
+	}
+
+	n := len(r.cfg.Shards)
+	got := make([]*serve.Result, n)
+	gather := func(shards []int) {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for _, i := range shards {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := r.fetchShard(ctx, i, alg, k)
+				mu.Lock()
+				if err == nil {
+					got[i] = res
+				} else {
+					got[i] = nil
+				}
+				mu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	gather(all)
+
+	// Epoch alignment: find the maximum snapshot epoch across the gather
+	// and re-ask shards that answered from an older one. A re-ask may
+	// itself raise the maximum (the straggler published again while we
+	// waited), so loop — bounded by EpochRetries.
+	maxSeq := func() int64 {
+		var m int64 = -1
+		for _, res := range got {
+			if res != nil && res.SnapshotSeq > m {
+				m = res.SnapshotSeq
+			}
+		}
+		return m
+	}
+	target := maxSeq()
+	if target < 0 {
+		return nil, ErrAllShardsDown
+	}
+	for try := 0; try < r.cfg.EpochRetries; try++ {
+		var stale []int
+		for i, res := range got {
+			if res != nil && res.SnapshotSeq < target {
+				stale = append(stale, i)
+			}
+		}
+		if len(stale) == 0 {
+			break
+		}
+		if obs.Enabled() {
+			obs.GetCounter("cluster/epoch_reasks").Add(int64(len(stale)))
+			obs.GetCounter("cluster/stragglers").Add(int64(len(stale)))
+		}
+		if r.cfg.EpochBackoff > 0 {
+			select {
+			case <-time.After(r.cfg.EpochBackoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		gather(stale)
+		if m := maxSeq(); m > target {
+			target = m
+		}
+	}
+
+	// A single-shard cluster needs no merge: the worker answered the
+	// unrestricted sweep (shards=1 disables range restriction server-side)
+	// and its result passes through whole.
+	if n == 1 {
+		if got[0] == nil {
+			return nil, ErrAllShardsDown
+		}
+		if obs.Enabled() {
+			obs.GetCounter("cluster/gather_full").Inc()
+		}
+		return &Response{Result: *got[0]}, nil
+	}
+
+	// Assemble: aligned shards contribute their partial lists; dead or
+	// still-stale shards contribute their owned ranges to missing_ranges.
+	// The boundaries are derived from the aligned responses: the split is
+	// degree-weighted and computed shard-side from the snapshot
+	// (predict.WeightedSourceRanges), so the router cannot reconstruct a
+	// dead shard's range alone — but the ranges are contiguous and ordered
+	// by shard index, so a run of unanswered shards owns exactly the gap
+	// between its alive neighbors' boundaries (closed by 0 on the left and
+	// the snapshot's node count on the right).
+	var (
+		aligned  []*serve.Result
+		missing  [][2]int
+		numNodes int
+		ok       = make([]bool, n)
+		lo       = make([]int, n)
+		hi       = make([]int, n)
+	)
+	for i, res := range got {
+		if res != nil && res.SnapshotSeq == target {
+			aligned = append(aligned, res)
+			if res.SnapshotNodes > numNodes {
+				numNodes = res.SnapshotNodes
+			}
+			if res.ShardRange != nil {
+				ok[i] = true
+				lo[i], hi[i] = res.ShardRange[0], res.ShardRange[1]
+			}
+		}
+	}
+	if len(aligned) == 0 {
+		return nil, ErrAllShardsDown
+	}
+	prevHi := 0
+	for i := 0; i < n; {
+		if ok[i] {
+			prevHi = hi[i]
+			i++
+			continue
+		}
+		j := i
+		for j < n && !ok[j] {
+			j++
+		}
+		end := numNodes
+		if j < n {
+			end = lo[j]
+		}
+		// An empty gap means the unanswered shards owned no sources (more
+		// shards than weight to split); nothing is missing from the merge.
+		if end > prevHi {
+			missing = append(missing, [2]int{prevHi, end})
+		}
+		prevHi = end
+		i = j
+	}
+
+	out := &Response{Result: r.merge(aligned, k)}
+	out.Alg = alg
+	if len(missing) > 0 {
+		out.Partial = true
+		out.MissingRanges = missing
+		if obs.Enabled() {
+			obs.GetCounter("cluster/gather_partial").Inc()
+		}
+	} else if obs.Enabled() {
+		obs.GetCounter("cluster/gather_full").Inc()
+	}
+	return out, nil
+}
+
+// merge folds the aligned partial lists into the global top-k. The merge
+// runs in the DENSE ID space the shards rank in — the tie-break hash is a
+// function of the dense pair, so merging on external IDs would break bit-
+// identity whenever ties cross a shard boundary — then maps the winners
+// back to external IDs via the (dense → external) pairs the shard responses
+// carry. The merged payload drops the dense fields: a full gather
+// serializes exactly like a single-node serve.Result.
+func (r *Router) merge(aligned []*serve.Result, k int) serve.Result {
+	parts := make([][]predict.Pair, len(aligned))
+	ext := make(map[graph.NodeID]int64)
+	for i, res := range aligned {
+		part := make([]predict.Pair, len(res.Pairs))
+		for j, p := range res.Pairs {
+			part[j] = predict.Pair{U: p.DU, V: p.DV, Score: p.Score}
+			ext[p.DU] = p.U
+			ext[p.DV] = p.V
+		}
+		parts[i] = part
+	}
+	merged := predict.MergeTopK(parts, k, r.cfg.Seed)
+	base := aligned[0]
+	out := serve.Result{
+		Alg:           base.Alg,
+		ServedBy:      base.ServedBy,
+		Degraded:      base.Degraded,
+		SnapshotSeq:   base.SnapshotSeq,
+		SnapshotEdges: base.SnapshotEdges,
+		SnapshotTime:  base.SnapshotTime,
+		Pairs:         make([]serve.PairScore, len(merged)),
+	}
+	for _, res := range aligned[1:] {
+		if res.Degraded {
+			out.Degraded = true
+			out.ServedBy = res.ServedBy
+		}
+	}
+	for i, p := range merged {
+		out.Pairs[i] = serve.PairScore{U: ext[p.U], V: ext[p.V], Score: p.Score}
+	}
+	return out
+}
+
+// Ingest replicates one event batch to every shard. Fan-outs are serialized
+// so all shards apply batches in identical order — the precondition for
+// identical snapshot cadence and therefore for epoch-aligned gathers. The
+// returned counts come from the first healthy shard (all healthy shards
+// agree by construction); ShardErrors reports divergence.
+func (r *Router) Ingest(ctx context.Context, events []serve.Event) (*IngestResult, error) {
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
+	body, err := json.Marshal(struct {
+		Events []serve.Event `json:"events"`
+	}{events})
+	if err != nil {
+		return nil, err
+	}
+	type reply struct {
+		shard int
+		out   IngestResult
+		err   error
+	}
+	replies := make(chan reply, len(r.cfg.Shards))
+	for i, base := range r.cfg.Shards {
+		go func(i int, base string) {
+			var out IngestResult
+			err := r.postJSON(ctx, base+"/ingest", body, &out)
+			replies <- reply{i, out, err}
+		}(i, base)
+	}
+	var ok *IngestResult
+	errCount := 0
+	for range r.cfg.Shards {
+		rep := <-replies
+		if rep.err != nil {
+			errCount++
+			if obs.Enabled() {
+				obs.GetCounter("cluster/ingest_errors").Inc()
+			}
+			continue
+		}
+		r.lastSeq[rep.shard].Store(rep.out.SnapshotSeq)
+		if ok == nil {
+			out := rep.out
+			ok = &out
+		}
+	}
+	if ok == nil {
+		return nil, ErrAllShardsDown
+	}
+	if obs.Enabled() {
+		obs.GetCounter("cluster/ingest_replicated").Inc()
+	}
+	ok.ShardErrors = errCount
+	return ok, nil
+}
+
+// Flush fans a snapshot publish to every shard and reports the maximum
+// resulting epoch.
+func (r *Router) Flush(ctx context.Context) (int64, error) {
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		maxSeq int64 = -1
+		anyOK  bool
+	)
+	for i, base := range r.cfg.Shards {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			var out struct {
+				SnapshotSeq int64 `json:"snapshot_seq"`
+			}
+			if err := r.postJSON(ctx, base+"/flush", nil, &out); err != nil {
+				return
+			}
+			r.lastSeq[i].Store(out.SnapshotSeq)
+			mu.Lock()
+			anyOK = true
+			if out.SnapshotSeq > maxSeq {
+				maxSeq = out.SnapshotSeq
+			}
+			mu.Unlock()
+		}(i, base)
+	}
+	wg.Wait()
+	if !anyOK {
+		return 0, ErrAllShardsDown
+	}
+	return maxSeq, nil
+}
+
+// Score forwards one /score body to a single shard (every shard holds the
+// full graph, so any can answer), round-robining with failover on error.
+// The shard's raw response bytes pass through untouched.
+func (r *Router) Score(ctx context.Context, body []byte) (status int, respBody []byte, err error) {
+	n := len(r.cfg.Shards)
+	start := int(r.rr.Add(1)-1) % n
+	var lastErr error
+	for off := 0; off < n; off++ {
+		base := r.cfg.Shards[(start+off)%n]
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/score", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := r.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if obs.Enabled() {
+			obs.GetCounter("cluster/score_forwarded").Inc()
+		}
+		return resp.StatusCode, raw, nil
+	}
+	return 0, nil, fmt.Errorf("cluster: score forward failed on all shards: %w", lastErr)
+}
+
+// Health probes every shard and aggregates. OK requires all shards up with
+// zero epoch skew.
+func (r *Router) Health(ctx context.Context) *ClusterHealth {
+	n := len(r.cfg.Shards)
+	out := &ClusterHealth{Shards: n, Workers: make([]ShardHealth, n)}
+	var wg sync.WaitGroup
+	for i, base := range r.cfg.Shards {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			w := ShardHealth{Shard: i, URL: base}
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+			if err == nil {
+				var resp *http.Response
+				resp, err = r.client.Do(req)
+				if err == nil {
+					err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&w.Health)
+					resp.Body.Close()
+				}
+			}
+			if err != nil {
+				w.Err = err.Error()
+			} else {
+				w.Up = true
+				r.lastSeq[i].Store(w.SnapshotSeq)
+			}
+			out.Workers[i] = w
+		}(i, base)
+	}
+	wg.Wait()
+	var lo, hi int64
+	first := true
+	for _, w := range out.Workers {
+		if !w.Up {
+			continue
+		}
+		out.ShardsUp++
+		if first || w.SnapshotSeq < lo {
+			lo = w.SnapshotSeq
+		}
+		if first || w.SnapshotSeq > hi {
+			hi = w.SnapshotSeq
+		}
+		first = false
+	}
+	out.EpochSkew = hi - lo
+	out.OK = out.ShardsUp == n && out.EpochSkew == 0
+	if obs.Enabled() {
+		obs.GetGauge("cluster/shards_up").Set(float64(out.ShardsUp))
+	}
+	return out
+}
+
+// postJSON posts body (nil allowed) and decodes a 200 response into out
+// (nil allowed).
+func (r *Router) postJSON(ctx context.Context, u string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s status %d: %s", u, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+// parseTimeout reads timeout_ms from a query, returning the router default
+// on absence.
+func (r *Router) parseTimeout(q url.Values) (time.Duration, error) {
+	raw := q.Get("timeout_ms")
+	if raw == "" {
+		return r.cfg.Timeout, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad timeout_ms %q", raw)
+	}
+	if v == 0 {
+		return r.cfg.Timeout, nil
+	}
+	return time.Duration(v) * time.Millisecond, nil
+}

@@ -115,22 +115,24 @@ func twoHopPairs(g *graph.Graph, emit func(u, v graph.NodeID)) {
 	twoHopRange(g, 0, n, newStamp(n), emit)
 }
 
-// twoHopParts runs the sharded 2-hop candidate sweep: each worker owns a
+// twoHopParts runs the sharded 2-hop candidate sweep over the call's source
+// span (Options.SourceRange, full graph when unset): each worker owns a
 // stamp array and a bounded top-k, and visit scores one candidate pair into
 // the worker's selection. The returned parts merge via mergeTopK.
 func twoHopParts(g *graph.Graph, k int, opt Options, visit func(u, v graph.NodeID, top *topK)) []*topK {
 	n := g.NumNodes()
+	base, end := opt.sourceSpan(n)
 	workers := workerCount(opt)
 	parts := make([]*topK, workers)
 	stamps := make([][]int32, workers)
-	shardRange(opt, n, workers, func(w, lo, hi int) {
+	shardRange(opt, end-base, workers, func(w, lo, hi int) {
 		if parts[w] == nil {
 			parts[w] = newTopKRec(k, opt)
 			stamps[w] = newStamp(n)
 		}
 		opt.rec.addNodes(int64(hi - lo))
 		top := parts[w]
-		twoHopRange(g, lo, hi, stamps[w], func(u, v graph.NodeID) { visit(u, v, top) })
+		twoHopRange(g, base+lo, base+hi, stamps[w], func(u, v graph.NodeID) { visit(u, v, top) })
 	})
 	return parts
 }
@@ -148,17 +150,18 @@ func predictTwoHop(g *graph.Graph, k int, opt Options, visit func(u, v graph.Nod
 // the fused kernels are property-tested against (TestFusedKernels*).
 func predictFusedTwoHop(g *graph.Graph, k int, opt Options, kern sweepKernel) []Pair {
 	n := g.NumNodes()
+	base, end := opt.sourceSpan(n)
 	workers := par.LimitWorkers(workerCount(opt), wedgeWork(g), minSweepWork)
 	parts := make([]*topK, workers)
 	scratch := make([]*sweepScratch, workers)
-	shardRange(opt, n, workers, func(w, lo, hi int) {
+	shardRange(opt, end-base, workers, func(w, lo, hi int) {
 		if parts[w] == nil {
 			parts[w] = newTopKRec(k, opt)
 			scratch[w] = newSweepScratch(n)
 		}
 		opt.rec.addNodes(int64(hi - lo))
 		top, s := parts[w], scratch[w]
-		for u := lo; u < hi; u++ {
+		for u := base + lo; u < base+hi; u++ {
 			uid := graph.NodeID(u)
 			s.sweepCandidates(g, uid, kern.witness)
 			for _, v := range s.cands {

@@ -121,6 +121,15 @@ func globalCandidates(g *graph.Graph, opt Options, emit func(u, v graph.NodeID))
 // non-block side) across workers; score must be safe for concurrent calls
 // over read-only state. The per-worker selections merge deterministically,
 // so the result matches the serial enumeration bit for bit.
+//
+// With a SourceRange set, phase 1 restricts its source loop while phases 2
+// and 3 run their full traversals — the block dedup and the phase-3 RNG
+// stream plus its seen-set are order-sensitive, so every shard replays them
+// identically — and filter emission by pair ownership. The three phases
+// emit disjoint pair sets, so the ownership filter partitions the exact
+// serial candidate set across shards. Latent scores are pure per-pair
+// functions of cached factor matrices, so partition plus per-pair scoring
+// merges bit-identically.
 func predictGlobal(g *graph.Graph, k int, opt Options, score func(u, v graph.NodeID) float64) []Pair {
 	n := g.NumNodes()
 	if n < 2 {
@@ -168,6 +177,9 @@ func predictGlobal(g *graph.Graph, k int, opt Options, score func(u, v graph.Nod
 				if blk.In[vid] && blk.Pos[vid] < int32(bi) {
 					continue
 				}
+				if !opt.ownsPair(u, vid) {
+					continue
+				}
 				top.Add(u, vid, score(u, vid))
 			}
 		}
@@ -176,6 +188,9 @@ func predictGlobal(g *graph.Graph, k int, opt Options, score func(u, v graph.Nod
 	// Phase 3: serial random distant pairs.
 	rest := newTopKRec(k, opt)
 	randomCandidates(g, opt, blk.In, func(u, v graph.NodeID) {
+		if !opt.ownsPair(u, v) {
+			return
+		}
 		rest.Add(u, v, score(u, v))
 	})
 

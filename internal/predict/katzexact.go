@@ -60,18 +60,19 @@ func (katzExactT) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	defer r.end()
 	opt.rec = r
 	n := g.NumNodes()
+	base, end := opt.sourceSpan(n)
 	maxLen := katzLen(opt)
 	workers := workerCount(opt)
 	parts := make([]*topK, workers)
 	scratch := make([]*katzScratch, workers)
-	shardRange(opt, n, workers, func(wk, lo, hi int) {
+	shardRange(opt, end-base, workers, func(wk, lo, hi int) {
 		if parts[wk] == nil {
 			parts[wk] = newTopKRec(k, opt)
 			scratch[wk] = newKatzScratch(n)
 		}
 		opt.rec.addNodes(int64(hi - lo))
 		top, s := parts[wk], scratch[wk]
-		for u := lo; u < hi; u++ {
+		for u := base + lo; u < base+hi; u++ {
 			uid := graph.NodeID(u)
 			if g.Degree(uid) == 0 {
 				continue

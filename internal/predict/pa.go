@@ -100,14 +100,17 @@ func (paAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	visited := map[uint64]bool{PairKey(0, 1): true}
 	// The frontier pops products in non-increasing order, so once the top-k
 	// heap is full and the next product is strictly worse than its minimum,
-	// the selection is exact.
+	// the selection is exact. Under a SourceRange the frontier expansion is
+	// unchanged and only emission is filtered by pair ownership; the early
+	// break then reasons about the heap of owned pairs, which is exact for
+	// the shard's universe (a sparser frontier just pops further).
 	for len(frontier.items) > 0 {
 		it := frontier.pop()
 		if len(top.pairs) == k && float64(it.product) < top.pairs[0].Score {
 			break
 		}
 		u, v := order[it.i], order[it.j]
-		if !g.HasEdge(u, v) {
+		if !g.HasEdge(u, v) && opt.ownsPair(u, v) {
 			top.Add(u, v, float64(it.product))
 		}
 		if int(it.i+1) < n && it.i+1 < it.j {

@@ -34,8 +34,13 @@ func (spAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	// Not enough 2-hop pairs: per-source truncated BFS out to increasing
 	// depths. The BFS re-discovers every distance-2 pair, so the sweep above
 	// is discarded rather than merged (merging would insert those pairs
-	// twice and could surface duplicates in the result).
+	// twice and could surface duplicates in the result). Under a SourceRange
+	// the count — and hence the path taken — is the shard's own: safe,
+	// because a shard with ≥ k owned 2-hop pairs proves no deeper pair can
+	// enter the global top k, and a shard that falls through scores its
+	// distance-2 pairs identically (-2) on the BFS path.
 	n := g.NumNodes()
+	base, end := opt.sourceSpan(n)
 	maxDepth := int32(opt.SPMaxDepth)
 	if maxDepth < 3 {
 		maxDepth = 3
@@ -44,14 +49,14 @@ func (spAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	bfsParts := make([]*topK, workers)
 	dists := make([][]int32, workers)
 	queues := make([][]graph.NodeID, workers)
-	shardRange(opt, n, workers, func(wk, lo, hi int) {
+	shardRange(opt, end-base, workers, func(wk, lo, hi int) {
 		if bfsParts[wk] == nil {
 			bfsParts[wk] = newTopKRec(k, opt)
 			dists[wk] = make([]int32, n)
 		}
 		opt.rec.addNodes(int64(hi - lo))
 		top, dist, queue := bfsParts[wk], dists[wk], queues[wk]
-		for u := lo; u < hi; u++ {
+		for u := base + lo; u < base+hi; u++ {
 			uid := graph.NodeID(u)
 			for i := range dist {
 				dist[i] = -1
@@ -179,17 +184,18 @@ func (lpAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 	defer r.end()
 	opt.rec = r
 	n := g.NumNodes()
+	base, end := opt.sourceSpan(n)
 	workers := workerCount(opt)
 	parts := make([]*topK, workers)
 	scratch := make([]*lpScratch, workers)
-	shardRange(opt, n, workers, func(wk, lo, hi int) {
+	shardRange(opt, end-base, workers, func(wk, lo, hi int) {
 		if parts[wk] == nil {
 			parts[wk] = newTopKRec(k, opt)
 			scratch[wk] = newLPScratch(n)
 		}
 		opt.rec.addNodes(int64(hi - lo))
 		top, s := parts[wk], scratch[wk]
-		for u := lo; u < hi; u++ {
+		for u := base + lo; u < base+hi; u++ {
 			uid := graph.NodeID(u)
 			if g.Degree(uid) == 0 {
 				continue

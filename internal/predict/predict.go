@@ -100,6 +100,18 @@ type Options struct {
 	// SPMaxDepth truncates shortest-path BFS.
 	SPMaxDepth int
 
+	// SourceRange, when non-nil, restricts Predict to the candidate pairs
+	// owned by the source-node interval [Lo, Hi) — the distributed sweep's
+	// unit of work (shard.go documents the ownership rule and the merge
+	// exactness argument). The restricted sweep computes exactly the scores
+	// the unrestricted sweep computes for the owned pairs, so merging the
+	// Predict outputs of a disjoint cover of [0, n) through MergeTopK is
+	// bit-identical to a single unrestricted Predict. ScorePairs ignores the
+	// restriction: explicit pair batches are already routed by their caller.
+	// validateOptions rejects Lo < 0 and Hi < Lo; Hi is clamped to the
+	// snapshot size.
+	SourceRange *SourceRange
+
 	// ExhaustiveSweep disables top-k threshold pruning in the local-metric
 	// Predict path, sweeping every source exactly as the reference engine
 	// does. Output is identical either way — pruning only skips sources
@@ -374,6 +386,9 @@ func TruthSet(prev *graph.Graph, newEdges []graph.Edge) map[uint64]bool {
 func validateOptions(opt Options) {
 	if opt.KatzBeta < 0 || opt.LPEpsilon < 0 || opt.PPRAlpha <= 0 || opt.PPRAlpha >= 1 || opt.Workers < 0 {
 		panic(fmt.Sprintf("predict: invalid options %+v", opt))
+	}
+	if r := opt.SourceRange; r != nil && (r.Lo < 0 || r.Hi < r.Lo) {
+		panic(fmt.Sprintf("predict: invalid source range [%d, %d)", r.Lo, r.Hi))
 	}
 }
 

@@ -96,29 +96,31 @@ const (
 	boundInvDeg
 )
 
-// bounds computes the per-source upper-bound array for m on g. The result
-// is a deterministic function of the graph and the metric, independent of
-// worker count (entries are computed independently).
-func (m *localMetric) bounds(g *graph.Graph, nb *naiveBayes, opt Options, workers int) []float64 {
+// bounds computes the per-source upper-bound array for m on g over the
+// source window [base, end); entries outside the window stay zero and are
+// never read. The result is a deterministic function of the graph, the
+// metric, and the window, independent of worker count (entries are
+// computed independently).
+func (m *localMetric) bounds(g *graph.Graph, nb *naiveBayes, opt Options, workers, base, end int) []float64 {
 	n := g.NumNodes()
 	ub := make([]float64, n)
 	switch m.boundKind {
 	case boundUnit:
-		for u := range ub {
+		for u := base; u < end; u++ {
 			if g.Degree(graph.NodeID(u)) > 0 {
 				ub[u] = 1
 			}
 		}
 	case boundInvDeg:
-		for u := range ub {
+		for u := base; u < end; u++ {
 			if d := g.Degree(graph.NodeID(u)); d > 0 {
 				ub[u] = 1 / float64(d)
 			}
 		}
 	default:
 		ld := logDegTable(g)
-		shardRange(opt, n, workers, func(_, lo, hi int) {
-			for u := lo; u < hi; u++ {
+		shardRange(opt, end-base, workers, func(_, lo, hi int) {
+			for u := base + lo; u < base+hi; u++ {
 				s := 0.0
 				for _, w := range g.Neighbors(graph.NodeID(u)) {
 					if t := m.boundTerm(g, ld, nb, w); t > 0 {
@@ -133,17 +135,23 @@ func (m *localMetric) bounds(g *graph.Graph, nb *naiveBayes, opt Options, worker
 }
 
 // predictPruned is the pruned Predict engine for one local metric: bound,
-// order, sweep in doubling batches, truncate below the merged floor.
+// order, sweep in doubling batches, truncate below the merged floor. With a
+// SourceRange set, only the owned sources are ordered and swept; the floor
+// then proves bounds against the shard's own top k, which is exact for the
+// shard's ownership universe (any pruned source's candidates score below k
+// owned candidates, so none of them can reach the merged global top k
+// either — shard.go carries the full argument).
 func predictPruned(g *graph.Graph, k int, opt Options, m *localMetric, nb *naiveBayes, kern sweepKernel) []Pair {
 	n := g.NumNodes()
 	if k <= 0 || n == 0 {
 		return newTopK(k, opt.Seed).Result()
 	}
+	base, end := opt.sourceSpan(n)
 	workers := par.LimitWorkers(workerCount(opt), wedgeWork(g), minSweepWork)
-	ub := m.bounds(g, nb, opt, workers)
-	order := make([]graph.NodeID, n)
+	ub := m.bounds(g, nb, opt, workers, base, end)
+	order := make([]graph.NodeID, end-base)
 	for i := range order {
-		order[i] = graph.NodeID(i)
+		order[i] = graph.NodeID(base + i)
 	}
 	// Stable + ascending initial order keeps equal-bound sources in
 	// ascending ID order, making the processing schedule canonical.

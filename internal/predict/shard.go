@@ -1,0 +1,159 @@
+package predict
+
+import "linkpred/internal/graph"
+
+// This file is the source-sharding layer of the prediction engine: the
+// SourceRange restriction that lets N processes each sweep a contiguous
+// slice of the source-node space, and the exported merge primitives that
+// fold their partial top-k lists back into the exact single-process result.
+//
+// Ownership rule. Every candidate pair (u, v) is owned by exactly one
+// shard: the one whose range contains the canonical lower endpoint
+// min(u, v). The per-source sweeps (local family, LP, SP, LRW, SRW,
+// KatzExact, the 2-hop phase of the global candidate set) emit candidates
+// as (u, v) with v > u from source u, so restricting their source loop to
+// [Lo, Hi) implements the rule directly. Sweeps whose traversal cannot be
+// range-restricted — the PA frontier, PPR's two-sided push accumulation,
+// the global set's block and random phases — run their full traversal and
+// filter emission by the same rule, so the union of the shards' candidate
+// universes is a disjoint partition of the unrestricted universe at every
+// shard count.
+//
+// Merge exactness. Each shard's Predict returns the exact top k of its
+// ownership universe (threshold pruning, the PA early break, and the SP
+// 2-hop shortcut all reason only about that universe). Any pair in the
+// global top k has at most k-1 pairs ranking above it globally, hence at
+// most k-1 above it within its owning shard, so it appears in that shard's
+// local top k — MergeTopK over the shards therefore reproduces the
+// unrestricted top k. Scores are computed by the same per-source
+// accumulation code either way and the tie-hash depends only on
+// (seed, pair), so the reproduction is bit-identical, at any shard count
+// and any per-shard Options.Workers.
+
+// SourceRange restricts a Predict call to the candidate pairs owned by the
+// half-open source-node interval [Lo, Hi). See Options.SourceRange.
+type SourceRange struct {
+	Lo, Hi int
+}
+
+// ShardSourceRange returns the contiguous source range owned by shard
+// index shard of shards over an n-node snapshot: [shard·n/shards,
+// (shard+1)·n/shards). Every node belongs to exactly one shard and range
+// sizes differ by at most one. Panics on an invalid shard index.
+func ShardSourceRange(n, shard, shards int) SourceRange {
+	if shards <= 0 || shard < 0 || shard >= shards {
+		panic("predict: invalid shard index")
+	}
+	if n < 0 {
+		n = 0
+	}
+	return SourceRange{Lo: shard * n / shards, Hi: (shard + 1) * n / shards}
+}
+
+// WeightedSourceRanges partitions [0, n) into shards contiguous source
+// ranges of approximately equal sweep cost instead of equal node count.
+// Growth traces assign low IDs to old nodes, and old nodes are the hubs, so
+// equal-count ranges pile the expensive sources — and, under the min(u, v)
+// ownership rule, nearly all hub–hub candidates — onto shard 0; measured on
+// renren-100k, shard 0 of 4 carries ~65% of the sweep. The weight here is
+// each source's wedge count Σ_{v∈N(u)} deg(v) (+1 per node so empty ranges
+// only appear when shards > n), the work driver of the local-family sweep
+// and a serviceable proxy for the other per-source families. Boundaries are
+// chosen by prefix-sum so every shard gets ~total/shards weight.
+//
+// The split is a pure function of the snapshot's degree sequence: replicas
+// holding identical snapshots compute identical boundaries with no
+// coordination, which is what lets each cluster worker derive its own range
+// from (shard, shards) alone. The ranges are contiguous, disjoint, and
+// cover [0, n), so the ownership rule and merge-exactness argument above
+// apply unchanged.
+func WeightedSourceRanges(g *graph.Graph, shards int) []SourceRange {
+	if shards <= 0 {
+		panic("predict: invalid shard count")
+	}
+	n := g.NumNodes()
+	var total uint64
+	weight := make([]uint64, n)
+	for u := 0; u < n; u++ {
+		w := uint64(1)
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			w += uint64(g.Degree(v))
+		}
+		weight[u] = w
+		total += w
+	}
+	ranges := make([]SourceRange, shards)
+	lo := 0
+	var acc uint64
+	for s := 0; s < shards; s++ {
+		hi := lo
+		if s == shards-1 {
+			hi = n
+		} else {
+			target := total * uint64(s+1) / uint64(shards)
+			for hi < n && acc+weight[hi] <= target {
+				acc += weight[hi]
+				hi++
+			}
+		}
+		ranges[s] = SourceRange{Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return ranges
+}
+
+// sourceSpan resolves the call's source restriction against an n-node
+// snapshot: nil means the full [0, n), anything else is clamped into it.
+func (o *Options) sourceSpan(n int) (lo, hi int) {
+	if o.SourceRange == nil {
+		return 0, n
+	}
+	lo, hi = o.SourceRange.Lo, o.SourceRange.Hi
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// ownsPair reports whether the call's restriction owns candidate (u, v):
+// the canonical lower endpoint falls inside the range. With no restriction
+// every pair is owned. This is the emission filter for sweeps that cannot
+// restrict their traversal (PA, PPR, the global block/random phases).
+func (o *Options) ownsPair(u, v graph.NodeID) bool {
+	if o.SourceRange == nil {
+		return true
+	}
+	m := int(minID(u, v))
+	return m >= o.SourceRange.Lo && m < o.SourceRange.Hi
+}
+
+// TieHash is the deterministic tie-break hash behind every ranked
+// selection: splitmix64 over the seed and the canonical pair key. Exported
+// so out-of-process mergers (the cluster router) can reason about — and
+// tests can verify — the exact order Predict uses for equal scores.
+func TieHash(seed int64, u, v graph.NodeID) uint64 {
+	return tieHash(seed, u, v)
+}
+
+// MergeTopK folds N independently selected top-k lists into the top k of
+// their union, using the same score-then-tie-hash order Predict uses. If
+// each part is a shard's Predict output produced with the same seed and k
+// over disjoint ownership ranges, the merge is bit-identical to the
+// unrestricted single-process Predict — the tie-hash depends only on
+// (seed, pair), so re-offering a pair here reproduces the hash it carried
+// inside the shard. Part order never matters; parts may be nil or short.
+func MergeTopK(parts [][]Pair, k int, seed int64) []Pair {
+	t := newTopK(k, seed)
+	for _, part := range parts {
+		for _, p := range part {
+			t.add(Pair{U: minID(p.U, p.V), V: maxID(p.U, p.V), Score: p.Score}, tieHash(seed, p.U, p.V))
+		}
+	}
+	return t.Result()
+}

@@ -63,17 +63,18 @@ func (lrwAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 		return nil
 	}
 	m := steps(opt)
+	base, end := opt.sourceSpan(n)
 	workers := workerCount(opt)
 	parts := make([]*topK, workers)
 	scratch := make([]*walkScratch, workers)
-	shardRange(opt, n, workers, func(wk, lo, hi int) {
+	shardRange(opt, end-base, workers, func(wk, lo, hi int) {
 		if parts[wk] == nil {
 			parts[wk] = newTopKRec(k, opt)
 			scratch[wk] = newWalkScratch(n)
 		}
 		opt.rec.addNodes(int64(hi - lo))
 		top, s := parts[wk], scratch[wk]
-		for u := lo; u < hi; u++ {
+		for u := base + lo; u < base+hi; u++ {
 			uid := graph.NodeID(u)
 			du := float64(g.Degree(uid))
 			if du == 0 {
@@ -181,17 +182,18 @@ func (srwAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 		return nil
 	}
 	m := steps(opt)
+	base, end := opt.sourceSpan(n)
 	workers := workerCount(opt)
 	parts := make([]*topK, workers)
 	scratch := make([]*srwScratch, workers)
-	shardRange(opt, n, workers, func(wk, lo, hi int) {
+	shardRange(opt, end-base, workers, func(wk, lo, hi int) {
 		if parts[wk] == nil {
 			parts[wk] = newTopKRec(k, opt)
 			scratch[wk] = newSRWScratch(n)
 		}
 		opt.rec.addNodes(int64(hi - lo))
 		top, s := parts[wk], scratch[wk]
-		for u := lo; u < hi; u++ {
+		for u := base + lo; u < base+hi; u++ {
 			uid := graph.NodeID(u)
 			du := float64(g.Degree(uid))
 			if du == 0 {
@@ -248,7 +250,12 @@ func (srwAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []floa
 // source's push into a global pair map, keeping the strongest
 // PPRPerSource targets per source to bound memory (documented deviation:
 // targets below a source's top block cannot enter the global top-k at the
-// k values the paper's methodology uses).
+// k values the paper's methodology uses). Under a SourceRange the push
+// sweep still covers every source — score(u,v) sums contributions from
+// both endpoints' pushes, so no contiguous source slice sees a pair's full
+// score — and only the accumulation is filtered by pair ownership:
+// sharding PPR partitions accumulator memory and selection work across
+// shards, not push work (DESIGN.md §12 records the limitation).
 type pprAlgorithm struct{}
 
 // PPR is the Personalized PageRank algorithm.
@@ -347,6 +354,9 @@ func (pprAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 				}
 				hits = append(hits, hit{v: v, s: s.p.val[v]})
 			}
+			// Ownership filter below, not here: truncation to pprPerSource
+			// must see the full hit list so the retained set matches the
+			// unrestricted sweep's exactly.
 			if len(hits) > pprPerSource {
 				// Total order (score desc, target asc) so the truncated set
 				// is independent of the sort implementation, not only of the
@@ -363,6 +373,9 @@ func (pprAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 				hits = hits[:pprPerSource]
 			}
 			for _, h := range hits {
+				if !opt.ownsPair(uid, h.v) {
+					continue
+				}
 				acc[PairKey(uid, h.v)] += h.s
 			}
 			hitBufs[wk] = hits[:0]

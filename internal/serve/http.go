@@ -15,7 +15,9 @@ import (
 
 // Handler returns the server's HTTP API:
 //
-//	GET  /predict?alg=CN&k=50[&timeout_ms=200]  — top-k ranked candidate links
+//	GET  /predict?alg=CN&k=50[&timeout_ms=200][&shard=i&shards=N]
+//	               — top-k ranked candidate links; shard/shards restrict the
+//	               sweep to one source shard for the cluster scatter path
 //	POST /score    {"alg":"AA","pairs":[[u,v],...][,"timeout_ms":200]}
 //	POST /ingest   {"events":[{"u":1,"v":2,"t":10},...]}
 //	POST /flush    — publish a snapshot of everything ingested so far
@@ -137,9 +139,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		timeoutMS = v
 	}
+	// shard/shards select the cluster scatter path: answer only the
+	// requested source shard's slice of the sweep (DESIGN.md §12).
+	shard, shards := 0, 1
+	if raw := q.Get("shards"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad shards %q", raw)})
+			return
+		}
+		shards = v
+	}
+	if raw := q.Get("shard"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 || v >= shards {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad shard %q of %d", raw, shards)})
+			return
+		}
+		shard = v
+	}
 	ctx, cancel := reqCtx(r, timeoutMS)
 	defer cancel()
-	res, err := s.Predict(ctx, alg, k)
+	res, err := s.PredictShard(ctx, alg, k, shard, shards)
 	if err != nil {
 		writeJSON(w, errStatus(err), httpError{Error: err.Error()})
 		return

@@ -135,11 +135,18 @@ type Snapshot struct {
 	Time int64
 }
 
-// PairScore is one scored pair in external ID space.
+// PairScore is one scored pair in external ID space. DU/DV carry the
+// snapshot's dense node IDs on shard-restricted predict responses only
+// (omitempty elsewhere — dense 0 decodes back to 0, so omission is
+// lossless): the ranked order's tie-break hash is a function of the dense
+// pair, so a cluster router needs them to merge partial lists bit-
+// identically to a single-process sweep.
 type PairScore struct {
-	U     int64   `json:"u"`
-	V     int64   `json:"v"`
-	Score float64 `json:"score"`
+	U     int64        `json:"u"`
+	V     int64        `json:"v"`
+	DU    graph.NodeID `json:"du,omitempty"`
+	DV    graph.NodeID `json:"dv,omitempty"`
+	Score float64      `json:"score"`
 }
 
 // Result is the payload of one answered query.
@@ -154,16 +161,27 @@ type Result struct {
 	SnapshotSeq   int64 `json:"snapshot_seq"`
 	SnapshotEdges int   `json:"snapshot_edges"`
 	SnapshotTime  int64 `json:"snapshot_time"`
+	// SnapshotNodes and ShardRange appear only on shard-restricted predict
+	// responses (omitempty keeps unrestricted payloads byte-identical to
+	// pre-cluster servers): the snapshot's node count, from which a router
+	// derives every shard's owned range, and the [lo, hi) source range this
+	// response actually swept.
+	SnapshotNodes int     `json:"snapshot_nodes,omitempty"`
+	ShardRange    *[2]int `json:"shard_range,omitempty"`
 	// Pairs holds the ranked top-k (predict) or the per-request scores in
 	// request order (score).
 	Pairs []PairScore `json:"pairs"`
 }
 
-// Health is the /healthz payload.
+// Health is the /healthz payload. SnapshotSeq is the serving epoch and
+// TraceEdges the replicated-ingest position — together they let a cluster
+// router check shard alignment from the health probe alone, with no side
+// channel into the ingest path.
 type Health struct {
 	OK            bool  `json:"ok"`
 	SnapshotSeq   int64 `json:"snapshot_seq"`
 	SnapshotEdges int   `json:"snapshot_edges"`
+	SnapshotTime  int64 `json:"snapshot_time"`
 	TraceEdges    int   `json:"trace_edges"`
 	Nodes         int   `json:"nodes"`
 	Degraded      bool  `json:"degraded"`
@@ -209,6 +227,10 @@ type request struct {
 	kind reqKind
 	alg  string
 	k    int
+	// shards > 1 marks a shard-restricted predict: sweep only the sources
+	// owned by shard index shard of shards (computed against the answering
+	// snapshot's node count).
+	shard, shards int
 	// ext holds the queried pairs in external IDs (score only); dense the
 	// remapped pairs with ok=false for endpoints unknown at submit time.
 	ext   [][2]int64
@@ -393,17 +415,18 @@ func (s *Server) Snapshot() *Snapshot { return s.cur.Load() }
 // latent-family requests to their local-metric proxies.
 func (s *Server) Degraded() bool { return s.deg.degraded() }
 
-// Health reports the serving state for /healthz.
+// Health reports the serving state for /healthz. It reads only atomics —
+// never s.mu — so a health probe answers immediately even while a long
+// ingest batch holds the ingest lock; a router polling for epoch alignment
+// must not block behind the very replication it is waiting on.
 func (s *Server) Health() Health {
 	snap := s.cur.Load()
-	s.mu.Lock()
-	edges := len(s.trace.Edges)
-	s.mu.Unlock()
 	return Health{
 		OK:            true,
 		SnapshotSeq:   snap.Seq,
 		SnapshotEdges: snap.Edges,
-		TraceEdges:    edges,
+		SnapshotTime:  snap.Time,
+		TraceEdges:    int(s.traceLen.Load()),
 		Nodes:         snap.Graph.NumNodes(),
 		Degraded:      s.deg.degraded(),
 		QueueDepth:    len(s.queue),
@@ -540,13 +563,30 @@ func (s *Server) publishLocked() *Snapshot {
 // Predict answers a top-k query: the k highest-scored candidate links on
 // the current snapshot under the named algorithm.
 func (s *Server) Predict(ctx context.Context, alg string, k int) (*Result, error) {
+	return s.PredictShard(ctx, alg, k, 0, 1)
+}
+
+// PredictShard answers the shard-restricted top-k query behind the cluster
+// scatter/gather path: the top k among the candidate pairs owned by shard
+// index shard of shards, computed against the server's current snapshot.
+// shards <= 1 is the unrestricted Predict. The response carries the swept
+// source range and the snapshot's node count so a router can merge
+// same-epoch partial lists (predict.MergeTopK) and account for missing
+// ranges when a shard is down.
+func (s *Server) PredictShard(ctx context.Context, alg string, k, shard, shards int) (*Result, error) {
 	if _, err := s.cfg.Resolve(alg); err != nil {
 		return nil, err
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("serve: k must be positive, got %d", k)
 	}
-	return s.submit(&request{kind: kindPredict, alg: alg, k: k, ctx: ctx, done: make(chan outcome, 1)})
+	if shards > 1 && (shard < 0 || shard >= shards) {
+		return nil, fmt.Errorf("serve: shard %d out of range for %d shards", shard, shards)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return s.submit(&request{kind: kindPredict, alg: alg, k: k, shard: shard, shards: shards, ctx: ctx, done: make(chan outcome, 1)})
 }
 
 // Score answers a pair-score query: one score per requested pair, in
@@ -758,6 +798,17 @@ func (s *Server) servePredict(r *request, snap *Snapshot) {
 	}
 	opt := s.cfg.Opt
 	opt.Ctx = r.ctx
+	sharded := r.shards > 1
+	var srange predict.SourceRange
+	if sharded {
+		// Degree-weighted boundaries, not equal-count: growth traces put the
+		// hubs at low IDs, and equal-count ranges leave shard 0 with most of
+		// the sweep. The split is a pure function of the snapshot, so every
+		// replica serving the same epoch derives the same boundaries from
+		// (shard, shards) alone — the router learns them from shard_range.
+		srange = predict.WeightedSourceRanges(snap.Graph, r.shards)[r.shard]
+		opt.SourceRange = &srange
+	}
 	pairs := alg.Predict(snap.Graph, r.k, opt)
 	if r.ctx.Err() != nil {
 		// The sweep was cut short; the partial top-k is not the contract's
@@ -774,17 +825,29 @@ func (s *Server) servePredict(r *request, snap *Snapshot) {
 		SnapshotTime:  snap.Time,
 		Pairs:         make([]PairScore, len(pairs)),
 	}
+	if sharded {
+		res.SnapshotNodes = snap.Graph.NumNodes()
+		res.ShardRange = &[2]int{srange.Lo, srange.Hi}
+		if obs.Enabled() {
+			obs.GetCounter("serve/shard_predicts").Inc()
+		}
+	}
 	for i, p := range pairs {
 		res.Pairs[i] = PairScore{U: s.external(p.U), V: s.external(p.V), Score: p.Score}
+		if sharded {
+			res.Pairs[i].DU, res.Pairs[i].DV = p.U, p.V
+		}
 	}
 	if degraded && obs.Enabled() {
 		obs.GetCounter("serve/degraded_responses").Inc()
 	}
-	if s.cfg.Eval != nil {
+	if s.cfg.Eval != nil && !sharded {
 		// Prequential record: the ranked top-k in dense IDs, keyed by the
 		// snapshot epoch it was computed on, credited to the algorithm
 		// that actually ran. The current trace length fences off edges
-		// that arrived before this response existed.
+		// that arrived before this response existed. Shard-restricted
+		// responses are never recorded — a partial list is not a ranked
+		// prediction; the router owns the merged list and its accuracy.
 		ranked := make([][2]graph.NodeID, len(pairs))
 		for i, p := range pairs {
 			ranked[i] = [2]graph.NodeID{p.U, p.V}
