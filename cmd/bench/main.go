@@ -102,6 +102,45 @@ type shardResult struct {
 	Identical bool `json:"identical_topk"`
 }
 
+// memoryResult is one (preset, shards, shard) row of the -partition memory
+// sweep: the resident adjacency bytes of one ownership-partitioned shard
+// (graph.PartitionView at the wedge-weighted boundaries) against the full
+// snapshot, plus the merged-top-k identity check that makes the smaller
+// footprint trustworthy. Shard 0 saves nothing by construction — its
+// min-endpoint rows are the duplicate detector — so read the per-shard
+// fractions, not an average (DESIGN.md §13).
+type memoryResult struct {
+	Preset           string  `json:"preset"`
+	Nodes            int     `json:"nodes"`
+	Edges            int     `json:"edges"`
+	Shards           int     `json:"shards"`
+	Shard            int     `json:"shard"`
+	RangeLo          int     `json:"range_lo"`
+	RangeHi          int     `json:"range_hi"`
+	FullBytes        int64   `json:"full_bytes"`
+	PartitionedBytes int64   `json:"partitioned_bytes"`
+	Fraction         float64 `json:"fraction_of_full"`
+	Identical        bool    `json:"identical_topk"`
+}
+
+// publishResult is one batch-size row of the -publish sweep: the
+// incremental builder's delta publish (copy-on-write row patching,
+// DESIGN.md §13) timed and allocation-counted against rebuilding the
+// snapshot from scratch. AllocsPerOp is the regression-gated number — it
+// is a deterministic function of the trace and batch schedule, unlike the
+// timings, so CI compares counts, never times.
+type publishResult struct {
+	Preset      string  `json:"preset"`
+	Edges       int     `json:"edges"`
+	Batch       int     `json:"batch"`
+	Publishes   int     `json:"publishes"`
+	DeltaNs     int64   `json:"delta_publish_ns_per_op"`
+	RebuildNs   int64   `json:"rebuild_ns_per_op"`
+	Speedup     float64 `json:"speedup_vs_rebuild"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	DeltaRows   float64 `json:"delta_rows_per_op"`
+}
+
 // output is the file-level schema. The metadata fields stamp which build
 // and machine produced the numbers, so checked-in BENCH_predict.json files
 // from different runs stay comparable.
@@ -122,6 +161,10 @@ type output struct {
 	Scaling []scalingResult `json:"scaling,omitempty"`
 	// Sharded holds the -shards scatter/gather rows.
 	Sharded []shardResult `json:"sharded,omitempty"`
+	// Memory holds the -partition per-shard residency rows; Publish the
+	// -publish delta-publish rows.
+	Memory  []memoryResult  `json:"memory,omitempty"`
+	Publish []publishResult `json:"publish,omitempty"`
 	// Telemetry carries the obs dump when collection was enabled (-obs,
 	// -debug-addr or -progress), exposing per-algorithm latency histograms
 	// and engine chunk-claim counts next to the wall-clock timings.
@@ -161,8 +204,11 @@ func loadOutput(path string) (*output, error) {
 // compareOutputs diffs two benchmark files row by row on the
 // (algorithm, workers) key and prints per-algorithm speedup (old/new > 1)
 // or regression (< 1). Rows present in only one file are listed as such.
-// It returns the number of regressions beyond the noise threshold.
-func compareOutputs(w io.Writer, old, cur *output, threshold float64) int {
+// It returns the number of regressions beyond the noise threshold, and
+// separately the deterministic subset (memory/publish rows: resident bytes
+// and alloc counts are machine-independent, so those regressions are safe
+// to gate CI on even when the timing rows came from different hardware).
+func compareOutputs(w io.Writer, old, cur *output, threshold float64) (regressions, deterministic int) {
 	type cell struct {
 		alg     string
 		workers int
@@ -177,13 +223,13 @@ func compareOutputs(w io.Writer, old, cur *output, threshold float64) int {
 		// their own preset per row, so those still compare.
 		fmt.Fprintf(w, "note: main configs differ (old %s@%g, new %s@%g); skipping main rows\n",
 			old.Preset, old.Scale, cur.Preset, cur.Scale)
-		return compareScaling(w, old, cur, threshold) + compareSharded(w, old, cur, threshold)
+		det := compareMemory(w, old, cur, threshold) + comparePublish(w, old, cur, threshold)
+		return compareScaling(w, old, cur, threshold) + compareSharded(w, old, cur, threshold) + det, det
 	}
 	if old.GOMAXPROCS != cur.GOMAXPROCS {
 		fmt.Fprintf(w, "note: GOMAXPROCS differs (old %d, new %d); parallel-row ratios are cross-machine\n",
 			old.GOMAXPROCS, cur.GOMAXPROCS)
 	}
-	regressions := 0
 	fmt.Fprintf(w, "%-10s %-9s %14s %14s %9s\n", "algorithm", "workers", "old ns/op", "new ns/op", "old/new")
 	for _, r := range cur.Results {
 		oldNs, ok := prev[cell{r.Algorithm, r.Workers}]
@@ -208,6 +254,86 @@ func compareOutputs(w io.Writer, old, cur *output, threshold float64) int {
 	}
 	regressions += compareScaling(w, old, cur, threshold)
 	regressions += compareSharded(w, old, cur, threshold)
+	deterministic = compareMemory(w, old, cur, threshold) + comparePublish(w, old, cur, threshold)
+	regressions += deterministic
+	return regressions, deterministic
+}
+
+// compareMemory diffs the -partition rows on (preset, shards, shard).
+// Resident bytes are a deterministic function of the snapshot and the
+// boundaries, so any growth beyond the threshold is a real footprint
+// regression, not timing noise.
+func compareMemory(w io.Writer, old, cur *output, threshold float64) int {
+	if len(old.Memory) == 0 || len(cur.Memory) == 0 {
+		return 0
+	}
+	type cell struct {
+		preset string
+		shards int
+		shard  int
+	}
+	prev := make(map[cell]int64, len(old.Memory))
+	for _, r := range old.Memory {
+		prev[cell{r.Preset, r.Shards, r.Shard}] = r.PartitionedBytes
+	}
+	regressions := 0
+	fmt.Fprintf(w, "\nmemory rows (partitioned resident bytes):\n")
+	fmt.Fprintf(w, "%-12s %-8s %-7s %14s %14s %9s\n", "preset", "shards", "shard", "old bytes", "new bytes", "old/new")
+	for _, r := range cur.Memory {
+		oldB, ok := prev[cell{r.Preset, r.Shards, r.Shard}]
+		if !ok {
+			fmt.Fprintf(w, "%-12s shards=%-2d shard=%-2d %14s %14d %9s\n", r.Preset, r.Shards, r.Shard, "-", r.PartitionedBytes, "new")
+			continue
+		}
+		ratio := 0.0
+		if r.PartitionedBytes > 0 {
+			ratio = float64(oldB) / float64(r.PartitionedBytes)
+		}
+		tag := ""
+		if ratio < threshold {
+			tag = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-12s shards=%-2d shard=%-2d %14d %14d %8.2fx%s\n", r.Preset, r.Shards, r.Shard, oldB, r.PartitionedBytes, ratio, tag)
+	}
+	return regressions
+}
+
+// comparePublish diffs the -publish rows on (preset, batch), gating on the
+// allocation COUNT per publish — deterministic for a fixed trace and batch
+// schedule — never on the timings, which vary with the machine.
+func comparePublish(w io.Writer, old, cur *output, threshold float64) int {
+	if len(old.Publish) == 0 || len(cur.Publish) == 0 {
+		return 0
+	}
+	type cell struct {
+		preset string
+		batch  int
+	}
+	prev := make(map[cell]int64, len(old.Publish))
+	for _, r := range old.Publish {
+		prev[cell{r.Preset, r.Batch}] = r.AllocsPerOp
+	}
+	regressions := 0
+	fmt.Fprintf(w, "\npublish rows (allocs per delta publish):\n")
+	fmt.Fprintf(w, "%-12s %-10s %14s %14s %9s\n", "preset", "batch", "old allocs", "new allocs", "old/new")
+	for _, r := range cur.Publish {
+		oldA, ok := prev[cell{r.Preset, r.Batch}]
+		if !ok {
+			fmt.Fprintf(w, "%-12s batch=%-5d %14s %14d %9s\n", r.Preset, r.Batch, "-", r.AllocsPerOp, "new")
+			continue
+		}
+		ratio := 0.0
+		if r.AllocsPerOp > 0 {
+			ratio = float64(oldA) / float64(r.AllocsPerOp)
+		}
+		tag := ""
+		if ratio < threshold {
+			tag = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-12s batch=%-5d %14d %14d %8.2fx%s\n", r.Preset, r.Batch, oldA, r.AllocsPerOp, ratio, tag)
+	}
 	return regressions
 }
 
@@ -388,11 +514,13 @@ func runSharded(o *output, presets, algNames []string, seed int64, k int, counts
 				single := alg.Predict(g, k, opt) // warm + reference output
 				singleNs := measure(mintime, maxIters, func() { alg.Predict(g, k, opt) })
 				for _, shards := range shardCounts {
-					// Degree-weighted boundaries, matching what each cluster
-					// worker derives from its own snapshot — equal-count
-					// ranges would leave the hub-heavy low-ID shard with
-					// most of the sweep.
-					ranges := predict.WeightedSourceRanges(g, shards)
+					// Cost-model-weighted boundaries, matching what each
+					// cluster worker derives from its own snapshot for the
+					// served family — equal-count ranges would leave the
+					// hub-heavy low-ID shard with most of the sweep, and the
+					// uncapped wedge model over-bills the naive Bayes
+					// family's pruned hub sweeps (predict.CostModelFor).
+					ranges := predict.WeightedSourceRangesFor(g, shards, predict.CostModelFor(alg.Name()))
 					parts := make([][]predict.Pair, shards)
 					var maxNs, sumNs int64
 					for s := 0; s < shards; s++ {
@@ -446,6 +574,123 @@ func runSharded(o *output, presets, algNames []string, seed int64, k int, counts
 				}
 			}
 		}
+	}
+	return nil
+}
+
+// runPartitionMemory measures the tentpole's memory story: for each preset
+// and shard count, the resident adjacency bytes of every ownership-
+// partitioned shard (graph.PartitionView at the wedge-weighted boundaries)
+// against the full snapshot, with the merged CN top-k checked bit-identical
+// to the unrestricted sweep — the number is only meaningful if the smaller
+// snapshot still answers exactly.
+func runPartitionMemory(o *output, presets []string, shardCounts []int, seed int64, k int) error {
+	for _, name := range presets {
+		g, err := presetGraph(name, seed)
+		if err != nil {
+			return err
+		}
+		n := g.NumNodes()
+		full := g.ResidentBytes()
+		fmt.Printf("partition %s: %d nodes, %d edges, full resident %d bytes\n", name, n, g.NumEdges(), full)
+		opt := predict.DefaultOptions()
+		single := predict.CN.Predict(g, k, opt)
+		for _, shards := range shardCounts {
+			ranges := predict.WeightedSourceRanges(g, shards)
+			parts := make([][]predict.Pair, shards)
+			rowBase := len(o.Memory)
+			for s, r := range ranges {
+				pv := graph.PartitionView(g, graph.NodeID(r.Lo), graph.NodeID(r.Hi))
+				parts[s] = predict.CN.Predict(pv, k, opt)
+				bytes := pv.ResidentBytes()
+				frac := 0.0
+				if full > 0 {
+					frac = float64(bytes) / float64(full)
+				}
+				o.Memory = append(o.Memory, memoryResult{
+					Preset:           name,
+					Nodes:            n,
+					Edges:            g.NumEdges(),
+					Shards:           shards,
+					Shard:            s,
+					RangeLo:          r.Lo,
+					RangeHi:          r.Hi,
+					FullBytes:        full,
+					PartitionedBytes: bytes,
+					Fraction:         frac,
+				})
+				fmt.Printf("%-12s shards=%-2d shard=%-2d range=[%d,%d) resident %12d bytes  (%.3f of full)\n",
+					name, shards, s, r.Lo, r.Hi, bytes, frac)
+			}
+			merged := predict.MergeTopK(parts, k, opt.Seed)
+			identical := len(merged) == len(single)
+			if identical {
+				for i := range merged {
+					if merged[i] != single[i] {
+						identical = false
+						break
+					}
+				}
+			}
+			for i := rowBase; i < len(o.Memory); i++ {
+				o.Memory[i].Identical = identical
+			}
+			if !identical {
+				return fmt.Errorf("-partition: %s shards=%d: merged top-k over partition views differs from full sweep", name, shards)
+			}
+		}
+	}
+	return nil
+}
+
+// runPublish measures the delta-CSR publish path: an incremental builder
+// warmed on half the trace, then advanced one batch per publish to the end,
+// against rebuilding the final snapshot from scratch. Allocations are
+// counted across the whole publish loop (runtime.MemStats mallocs) and
+// amortized per publish — the deterministic number the CI alloc gate
+// compares; the timings are context.
+func runPublish(o *output, tr *graph.Trace, presetName string, batches []int, mintime time.Duration, maxIters int) error {
+	total := len(tr.Edges)
+	rebuildNs := measure(mintime, maxIters, func() { tr.SnapshotAtEdge(total) })
+	for _, batch := range batches {
+		warm := total / 2
+		if batch <= 0 || warm+batch > total {
+			return fmt.Errorf("-publish: batch %d does not fit the trace (%d edges)", batch, total)
+		}
+		b := graph.NewIncrementalBuilder(tr)
+		b.AtEdge(warm)
+		rowsBefore := b.DeltaRows()
+		publishes := 0
+		runtime.GC()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for m := warm + batch; m <= total; m += batch {
+			b.AtEdge(m)
+			publishes++
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		deltaNs := elapsed.Nanoseconds() / int64(publishes)
+		allocs := int64(ms1.Mallocs-ms0.Mallocs) / int64(publishes)
+		deltaRows := float64(b.DeltaRows()-rowsBefore) / float64(publishes)
+		speedup := 0.0
+		if deltaNs > 0 {
+			speedup = float64(rebuildNs) / float64(deltaNs)
+		}
+		o.Publish = append(o.Publish, publishResult{
+			Preset:      presetName,
+			Edges:       total,
+			Batch:       batch,
+			Publishes:   publishes,
+			DeltaNs:     deltaNs,
+			RebuildNs:   rebuildNs,
+			Speedup:     speedup,
+			AllocsPerOp: allocs,
+			DeltaRows:   deltaRows,
+		})
+		fmt.Printf("publish %-10s batch=%-5d %12s/op  rebuild %12s/op  speedup=%.1fx  allocs/op=%d  delta rows/op=%.1f\n",
+			presetName, batch, time.Duration(deltaNs), time.Duration(rebuildNs), speedup, allocs, deltaRows)
 	}
 	return nil
 }
@@ -557,8 +802,11 @@ func main() {
 	scalingAlgs := flag.String("scaling-algs", "", "local metrics for -scaling (default: the full 12-metric local family)")
 	allPairs := flag.Bool("allpairs", false, "also time the O(N²) all-pairs baseline per -scaling row (expensive: N(N-1)/2 scored pairs per measurement)")
 	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the scatter/gather sweep (e.g. 2,4,8); simulates the cluster's source-sharded prediction in process")
-	shardPresets := flag.String("shard-presets", "renren-100k", "comma-separated presets for the -shards sweep")
+	shardPresets := flag.String("shard-presets", "renren-100k", "comma-separated presets for the -shards and -partition sweeps")
+	partitionFlag := flag.String("partition", "", "comma-separated shard counts for the per-shard partitioned-memory sweep (e.g. 4); uses -shard-presets")
+	publishFlag := flag.String("publish", "", "comma-separated batch sizes for the delta-publish alloc/time sweep on the main preset trace (e.g. 64,256)")
 	failOnRegress := flag.Bool("fail-on-regress", false, "exit nonzero when -compare finds a regression beyond 10%")
+	failOnAllocRegress := flag.Bool("fail-on-alloc-regress", false, "exit nonzero when -compare finds a regression beyond 10% in the deterministic memory/publish rows only (resident bytes, allocs per publish) — machine-independent, safe for CI")
 	short := flag.Bool("short", false, "smoke mode: one iteration per cell, local-only default algorithm set")
 	obsOn := flag.Bool("obs", false, "collect telemetry and embed the dump in the output JSON")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while benchmarking; implies -obs")
@@ -706,6 +954,42 @@ func main() {
 		}
 	}
 
+	if *partitionFlag != "" {
+		var shardCounts []int
+		for _, s := range strings.Split(*partitionFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "bench: -partition: bad count %q\n", s)
+				os.Exit(2)
+			}
+			shardCounts = append(shardCounts, v)
+		}
+		presets := strings.Split(*shardPresets, ",")
+		for i := range presets {
+			presets[i] = strings.TrimSpace(presets[i])
+		}
+		if err := runPartitionMemory(&o, presets, shardCounts, *seed, *k); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *publishFlag != "" {
+		var batches []int
+		for _, s := range strings.Split(*publishFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "bench: -publish: bad batch %q\n", s)
+				os.Exit(2)
+			}
+			batches = append(batches, v)
+		}
+		if err := runPublish(&o, tr, *presetName, batches, *mintime, *maxIters); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if obs.Enabled() {
 		o.Telemetry = obs.Snapshot()
 	}
@@ -728,9 +1012,10 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("\ncomparing against %s (%s)\n", *compare, old.Timestamp.Format(time.RFC3339))
-		if n := compareOutputs(os.Stdout, old, &o, 0.90); n > 0 {
-			fmt.Printf("%d regression(s) beyond 10%%\n", n)
-			if *failOnRegress {
+		n, det := compareOutputs(os.Stdout, old, &o, 0.90)
+		if n > 0 {
+			fmt.Printf("%d regression(s) beyond 10%% (%d deterministic)\n", n, det)
+			if *failOnRegress || (*failOnAllocRegress && det > 0) {
 				os.Exit(1)
 			}
 		}

@@ -18,6 +18,7 @@
 //	linkpredd -snapshot-every 256 -workers 4 -queue 512
 //	linkpredd -degrade-p95 100ms -recover-after 32
 //	linkpredd -eval-topk 64 -eval-window 512              # prequential tuning
+//	linkpredd -partition 0:25000                          # memory-partitioned shard (DESIGN.md §13)
 //	linkpredd -metrics-out metrics.json -metrics-every 15s
 //
 // API (see internal/serve and DESIGN.md §9, §11):
@@ -98,6 +99,7 @@ func main() {
 	evalOn := flag.Bool("eval", true, "prequential live evaluation: score ingested edges against served predictions")
 	evalTopK := flag.Int("eval-topk", 128, "ranked pairs retained per recorded prediction set")
 	evalWindow := flag.Int("eval-window", 1024, "sliding window (scored edges) for windowed hit rate and AUPR")
+	partition := flag.String("partition", "", "serve as one memory-partitioned shard owning dense sources [lo:hi); materializes only owned adjacency rows plus frontier and serves the partition-safe local family only")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry report as JSON to this path periodically and at shutdown; implies -obs")
 	metricsEvery := flag.Duration("metrics-every", 30*time.Second, "rewrite -metrics-out on this period")
 	flag.Parse()
@@ -136,6 +138,14 @@ func main() {
 	cfg.Opt.Workers = *engineWorkers
 	if *evalOn {
 		cfg.Eval = liveeval.New(liveeval.Config{TopK: *evalTopK, Window: *evalWindow})
+	}
+	if *partition != "" {
+		var lo, hi int
+		if _, err := fmt.Sscanf(*partition, "%d:%d", &lo, &hi); err != nil || lo < 0 || hi <= lo {
+			fail(fmt.Errorf("bad -partition %q (want lo:hi with 0 <= lo < hi)", *partition))
+		}
+		cfg.Partition = &[2]int{lo, hi}
+		fmt.Printf("linkpredd: partitioned shard owning sources [%d, %d)\n", lo, hi)
 	}
 
 	srv, err := serve.New(cfg)

@@ -63,9 +63,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // errStatus maps a gather error to its HTTP status: every shard down is an
-// upstream outage (502), an exhausted budget a gateway timeout (504).
+// upstream outage (502), an exhausted budget a gateway timeout (504), and a
+// shard's deterministic refusal passes through with its original status.
 func errStatus(err error) int {
+	var rej *ShardRejection
 	switch {
+	case errors.As(err, &rej):
+		return rej.Status
 	case errors.Is(err, ErrAllShardsDown):
 		return http.StatusBadGateway
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):

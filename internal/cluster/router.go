@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"linkpred/internal/graph"
+	"linkpred/internal/liveeval"
 	"linkpred/internal/obs"
 	"linkpred/internal/predict"
 	"linkpred/internal/serve"
@@ -70,6 +71,24 @@ type Config struct {
 	// EpochBackoff is the wait between epoch re-asks (default 25ms): the
 	// stale shard's publish is usually mid-flight, not missing.
 	EpochBackoff time.Duration
+	// Partitioned declares the shards memory-partitioned (linkpredd
+	// -partition, DESIGN.md §13): each worker materializes only its owned
+	// adjacency rows plus frontier, with the partition bounds configured on
+	// the workers in ascending shard order. /predict then scatters with NO
+	// shard parameters — each worker sweeps exactly its ownership range and
+	// reports it via shard_range — and /score broadcasts to every shard,
+	// keeping the Owned answer per pair. Only the partition-safe local
+	// algorithm family is servable in this mode (workers reject the rest
+	// with 400).
+	Partitioned bool
+	// Eval, when set, runs prequential evaluation at the router: every
+	// merged (non-partial) /predict response is recorded and every
+	// replicated ingest edge is scored against the merged predictions that
+	// existed before it arrived. This measures what the cluster actually
+	// serves — shard-local evaluation cannot see the merged ranking, and in
+	// partitioned mode no single shard even holds it. The live series
+	// appear in the router's /metrics.
+	Eval *liveeval.Engine
 }
 
 // Response is a merged cluster answer. For a full gather it serializes
@@ -103,18 +122,35 @@ type ShardHealth struct {
 	serve.Health
 }
 
-// ClusterHealth is the router's /healthz payload.
+// ClusterHealth is the router's /healthz payload. SnapshotBytes sums the
+// up shards' resident adjacency footprints — on a partitioned cluster
+// (Partitioned true) that total plus frontier overhead replaces N full
+// copies of the graph, which is the memory win §13 quantifies.
 type ClusterHealth struct {
-	OK        bool          `json:"ok"`
-	Shards    int           `json:"shards"`
-	ShardsUp  int           `json:"shards_up"`
-	EpochSkew int64         `json:"epoch_skew"`
-	Workers   []ShardHealth `json:"workers"`
+	OK            bool          `json:"ok"`
+	Shards        int           `json:"shards"`
+	ShardsUp      int           `json:"shards_up"`
+	EpochSkew     int64         `json:"epoch_skew"`
+	SnapshotBytes int64         `json:"snapshot_bytes"`
+	Partitioned   bool          `json:"partitioned,omitempty"`
+	Workers       []ShardHealth `json:"workers"`
 }
 
 // ErrAllShardsDown reports a gather in which no shard produced a usable
 // response.
 var ErrAllShardsDown = errors.New("cluster: all shards down")
+
+// ShardRejection is a shard's deterministic client-error refusal (unknown
+// algorithm, partition-unsupported family). All shards share one
+// configuration, so retrying or hedging cannot change the answer; the
+// gather surfaces the refusal with its original status instead of
+// misreporting a healthy cluster as an outage.
+type ShardRejection struct {
+	Status int
+	Msg    string
+}
+
+func (e *ShardRejection) Error() string { return e.Msg }
 
 // Router scatters predict requests across source shards and gathers the
 // partial top-k lists into the bit-identical global ranking. It holds no
@@ -142,6 +178,16 @@ type Router struct {
 	// lastSeq tracks each shard's most recently observed snapshot epoch,
 	// feeding the epoch-skew gauge.
 	lastSeq []atomic.Int64
+
+	// evalMu guards the router-side prequential mirror (Config.Eval): a
+	// replay of the replicated event stream through exactly the validation
+	// and first-seen dense remapping the workers apply, so the router's
+	// dense IDs and trace indices match every shard's. Ingest (already
+	// serialized by ingestMu) extends it; Predict reads it to record merged
+	// rankings in dense space.
+	evalMu    sync.RWMutex
+	evalTrace *graph.Trace
+	evalRemap map[int64]graph.NodeID
 }
 
 // New builds a Router. It panics on an empty shard list — a router with
@@ -167,6 +213,10 @@ func New(cfg Config) *Router {
 		client = &http.Client{Timeout: cfg.Timeout}
 	}
 	r := &Router{cfg: cfg, client: client, lastSeq: make([]atomic.Int64, len(cfg.Shards))}
+	if cfg.Eval != nil {
+		r.evalTrace = &graph.Trace{Name: "cluster-eval"}
+		r.evalRemap = make(map[int64]graph.NodeID)
+	}
 	if obs.Enabled() {
 		obs.SetGaugeFunc("cluster/shards", func() float64 { return float64(len(cfg.Shards)) })
 		obs.SetGaugeFunc("cluster/epoch_skew", func() float64 { return float64(r.epochSkew()) })
@@ -200,8 +250,14 @@ type shardResp struct {
 // and one hedged backup after cfg.HedgeAfter. At most two attempts are ever
 // in flight; the first success wins and cancels the other.
 func (r *Router) fetchShard(ctx context.Context, shard int, alg string, k int) (*serve.Result, error) {
-	u := fmt.Sprintf("%s/predict?alg=%s&k=%d&shard=%d&shards=%d",
-		r.cfg.Shards[shard], url.QueryEscape(alg), k, shard, len(r.cfg.Shards))
+	// Memory-partitioned workers define their own sweep range (the
+	// configured ownership bounds); shard parameters would conflict with
+	// it, so the partitioned scatter sends none.
+	u := fmt.Sprintf("%s/predict?alg=%s&k=%d", r.cfg.Shards[shard], url.QueryEscape(alg), k)
+	if !r.cfg.Partitioned {
+		u = fmt.Sprintf("%s/predict?alg=%s&k=%d&shard=%d&shards=%d",
+			r.cfg.Shards[shard], url.QueryEscape(alg), k, shard, len(r.cfg.Shards))
+	}
 	type attempt struct {
 		res *serve.Result
 		err error
@@ -246,6 +302,12 @@ func (r *Router) fetchShard(ctx context.Context, shard int, alg string, k int) (
 				r.lastSeq[shard].Store(a.res.SnapshotSeq)
 				return a.res, nil
 			}
+			var rej *ShardRejection
+			if errors.As(a.err, &rej) {
+				// Deterministic refusal: the retry and the hedge would get
+				// the same 4xx, so fail the shard fetch immediately.
+				return nil, a.err
+			}
 			if firstErr == nil {
 				firstErr = a.err
 			}
@@ -285,6 +347,16 @@ func (r *Router) getResult(ctx context.Context, u string) (*serve.Result, error)
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			msg := string(bytes.TrimSpace(body))
+			var env struct {
+				Error string `json:"error"`
+			}
+			if json.Unmarshal(body, &env) == nil && env.Error != "" {
+				msg = env.Error
+			}
+			return nil, &ShardRejection{Status: resp.StatusCode, Msg: msg}
+		}
 		return nil, fmt.Errorf("cluster: shard status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 	}
 	var res serve.Result
@@ -317,6 +389,7 @@ func (r *Router) Predict(ctx context.Context, alg string, k int) (*Response, err
 
 	n := len(r.cfg.Shards)
 	got := make([]*serve.Result, n)
+	var rejected *ShardRejection
 	gather := func(shards []int) {
 		var wg sync.WaitGroup
 		var mu sync.Mutex
@@ -330,6 +403,10 @@ func (r *Router) Predict(ctx context.Context, alg string, k int) (*Response, err
 					got[i] = res
 				} else {
 					got[i] = nil
+					var rej *ShardRejection
+					if errors.As(err, &rej) && rejected == nil {
+						rejected = rej
+					}
 				}
 				mu.Unlock()
 			}(i)
@@ -357,6 +434,9 @@ func (r *Router) Predict(ctx context.Context, alg string, k int) (*Response, err
 	}
 	target := maxSeq()
 	if target < 0 {
+		if rejected != nil {
+			return nil, rejected
+		}
 		return nil, ErrAllShardsDown
 	}
 	for try := 0; try < r.cfg.EpochRetries; try++ {
@@ -396,7 +476,9 @@ func (r *Router) Predict(ctx context.Context, alg string, k int) (*Response, err
 		if obs.Enabled() {
 			obs.GetCounter("cluster/gather_full").Inc()
 		}
-		return &Response{Result: *got[0]}, nil
+		out := &Response{Result: *got[0]}
+		r.recordEval(out)
+		return out, nil
 	}
 
 	// Assemble: aligned shards contribute their partial lists; dead or
@@ -466,7 +548,33 @@ func (r *Router) Predict(ctx context.Context, alg string, k int) (*Response, err
 	} else if obs.Enabled() {
 		obs.GetCounter("cluster/gather_full").Inc()
 	}
+	r.recordEval(out)
 	return out, nil
+}
+
+// recordEval records one merged top-k into the router's prequential engine.
+// Partial gathers are skipped: a ranking missing source ranges is not the
+// cluster's answer, and crediting it would reward losing shards. The ranked
+// pairs are remapped to the dense ID space shared with the workers via the
+// router's ingest mirror; endpoints the mirror has never seen (possible only
+// when a worker was warm-started outside the router's stream) are skipped.
+func (r *Router) recordEval(out *Response) {
+	if r.cfg.Eval == nil || out.Partial {
+		return
+	}
+	r.evalMu.RLock()
+	ranked := make([][2]graph.NodeID, 0, len(out.Pairs))
+	for _, p := range out.Pairs {
+		u, uok := r.evalRemap[p.U]
+		v, vok := r.evalRemap[p.V]
+		if !uok || !vok {
+			continue
+		}
+		ranked = append(ranked, [2]graph.NodeID{u, v})
+	}
+	traceLen := len(r.evalTrace.Edges)
+	r.evalMu.RUnlock()
+	r.cfg.Eval.Record(out.ServedBy, out.SnapshotSeq, out.SnapshotEdges, traceLen, ranked)
 }
 
 // merge folds the aligned partial lists into the global top-k. The merge
@@ -558,11 +666,56 @@ func (r *Router) Ingest(ctx context.Context, events []serve.Event) (*IngestResul
 	if ok == nil {
 		return nil, ErrAllShardsDown
 	}
+	r.observeEval(events)
 	if obs.Enabled() {
 		obs.GetCounter("cluster/ingest_replicated").Inc()
 	}
 	ok.ShardErrors = errCount
 	return ok, nil
+}
+
+// observeEval replays one replicated batch into the router's prequential
+// mirror, applying the same per-event validation and first-seen dense
+// remapping serve.(*Server).Ingest applies — including assigning dense IDs
+// before the append that might still reject the event — so the mirror's
+// dense IDs and trace indices are identical to every worker's. Each
+// accepted edge is then scored against the merged predictions recorded
+// before it arrived. Callers hold ingestMu.
+func (r *Router) observeEval(events []serve.Event) {
+	if r.cfg.Eval == nil {
+		return
+	}
+	r.evalMu.Lock()
+	type obsEdge struct {
+		u, v graph.NodeID
+		idx  int
+	}
+	accepted := make([]obsEdge, 0, len(events))
+	for _, ev := range events {
+		if ev.U < 0 || ev.V < 0 || ev.U == ev.V {
+			continue
+		}
+		u, v := r.evalDenseLocked(ev.U), r.evalDenseLocked(ev.V)
+		if _, err := r.evalTrace.Append(u, v, ev.T); err != nil {
+			continue
+		}
+		accepted = append(accepted, obsEdge{u, v, len(r.evalTrace.Edges) - 1})
+	}
+	r.evalMu.Unlock()
+	for _, e := range accepted {
+		r.cfg.Eval.ObserveEdge(e.u, e.v, e.idx)
+	}
+}
+
+// evalDenseLocked remaps an external ID, assigning the next dense ID on
+// first sight. Callers hold evalMu.
+func (r *Router) evalDenseLocked(id int64) graph.NodeID {
+	if d, ok := r.evalRemap[id]; ok {
+		return d
+	}
+	d := graph.NodeID(len(r.evalRemap))
+	r.evalRemap[id] = d
+	return d
 }
 
 // Flush fans a snapshot publish to every shard and reports the maximum
@@ -602,10 +755,17 @@ func (r *Router) Flush(ctx context.Context) (int64, error) {
 	return maxSeq, nil
 }
 
-// Score forwards one /score body to a single shard (every shard holds the
-// full graph, so any can answer), round-robining with failover on error.
-// The shard's raw response bytes pass through untouched.
+// Score answers one /score body. On a replicated cluster every shard holds
+// the full graph, so the body forwards to a single shard (round-robin with
+// failover) and the raw response passes through untouched. On a partitioned
+// cluster no single shard can score an arbitrary pair, so the body
+// broadcasts to every shard and the router keeps, per pair, the answer from
+// the shard that flagged it Owned — ownership is a disjoint cover, so
+// exactly one shard is authoritative for each resolvable pair.
 func (r *Router) Score(ctx context.Context, body []byte) (status int, respBody []byte, err error) {
+	if r.cfg.Partitioned {
+		return r.scoreBroadcast(ctx, body)
+	}
 	n := len(r.cfg.Shards)
 	start := int(r.rr.Add(1)-1) % n
 	var lastErr error
@@ -633,6 +793,153 @@ func (r *Router) Score(ctx context.Context, body []byte) (status int, respBody [
 		return resp.StatusCode, raw, nil
 	}
 	return 0, nil, fmt.Errorf("cluster: score forward failed on all shards: %w", lastErr)
+}
+
+// scoreBroadcast fans one /score body to every partitioned shard, aligns
+// the responses on the maximum snapshot epoch (bounded re-asks, as in
+// Predict), and merges by the Owned flag. A pair whose owning shard is down
+// or stale scores zero — the same value a single node reports for an
+// unresolvable pair — rather than failing the whole request. A non-200
+// from any shard (unknown algorithm, partition-unsupported family) passes
+// through as the response: the shards share one configuration, so they
+// agree on rejections.
+func (r *Router) scoreBroadcast(ctx context.Context, body []byte) (int, []byte, error) {
+	n := len(r.cfg.Shards)
+	got := make([]*serve.Result, n)
+	var non200Status int
+	var non200Raw []byte
+	gather := func(shards []int) {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for _, i := range shards {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				status, raw, err := r.postRaw(ctx, r.cfg.Shards[i]+"/score", body)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					got[i] = nil
+					return
+				}
+				if status != http.StatusOK {
+					if non200Status == 0 {
+						non200Status, non200Raw = status, raw
+					}
+					got[i] = nil
+					return
+				}
+				var res serve.Result
+				if json.Unmarshal(raw, &res) != nil {
+					got[i] = nil
+					return
+				}
+				r.lastSeq[i].Store(res.SnapshotSeq)
+				got[i] = &res
+			}(i)
+		}
+		wg.Wait()
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	gather(all)
+	if non200Status != 0 {
+		return non200Status, non200Raw, nil
+	}
+	maxSeq := func() int64 {
+		var m int64 = -1
+		for _, res := range got {
+			if res != nil && res.SnapshotSeq > m {
+				m = res.SnapshotSeq
+			}
+		}
+		return m
+	}
+	target := maxSeq()
+	if target < 0 {
+		return 0, nil, ErrAllShardsDown
+	}
+	for try := 0; try < r.cfg.EpochRetries; try++ {
+		var stale []int
+		for i, res := range got {
+			if res != nil && res.SnapshotSeq < target {
+				stale = append(stale, i)
+			}
+		}
+		if len(stale) == 0 {
+			break
+		}
+		if r.cfg.EpochBackoff > 0 {
+			select {
+			case <-time.After(r.cfg.EpochBackoff):
+			case <-ctx.Done():
+				return 0, nil, ctx.Err()
+			}
+		}
+		gather(stale)
+		if m := maxSeq(); m > target {
+			target = m
+		}
+	}
+	var base *serve.Result
+	for _, res := range got {
+		if res != nil && res.SnapshotSeq == target {
+			base = res
+			break
+		}
+	}
+	if base == nil {
+		return 0, nil, ErrAllShardsDown
+	}
+	// The merged payload carries plain scores with the Owned flags dropped:
+	// a full broadcast serializes exactly like a single replicated node's
+	// score response.
+	out := *base
+	out.Pairs = make([]serve.PairScore, len(base.Pairs))
+	for i := range base.Pairs {
+		ps := serve.PairScore{U: base.Pairs[i].U, V: base.Pairs[i].V}
+		for _, res := range got {
+			if res == nil || res.SnapshotSeq != target || i >= len(res.Pairs) {
+				continue
+			}
+			if res.Pairs[i].Owned {
+				ps.Score = res.Pairs[i].Score
+				break
+			}
+		}
+		out.Pairs[i] = ps
+	}
+	raw, err := json.Marshal(&out)
+	if err != nil {
+		return 0, nil, err
+	}
+	if obs.Enabled() {
+		obs.GetCounter("cluster/score_broadcasts").Inc()
+	}
+	// handleScore on a worker answers via json.Encoder, which terminates
+	// with a newline; match it so the broadcast is byte-compatible.
+	return http.StatusOK, append(raw, '\n'), nil
+}
+
+// postRaw posts body and returns the raw status and payload.
+func (r *Router) postRaw(ctx context.Context, u string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
 }
 
 // Health probes every shard and aggregates. OK requires all shards up with
@@ -672,6 +979,10 @@ func (r *Router) Health(ctx context.Context) *ClusterHealth {
 			continue
 		}
 		out.ShardsUp++
+		out.SnapshotBytes += w.SnapshotBytes
+		if w.PartitionRange != nil {
+			out.Partitioned = true
+		}
 		if first || w.SnapshotSeq < lo {
 			lo = w.SnapshotSeq
 		}
@@ -684,6 +995,12 @@ func (r *Router) Health(ctx context.Context) *ClusterHealth {
 	out.OK = out.ShardsUp == n && out.EpochSkew == 0
 	if obs.Enabled() {
 		obs.GetGauge("cluster/shards_up").Set(float64(out.ShardsUp))
+		obs.GetGauge("cluster/snapshot_bytes").Set(float64(out.SnapshotBytes))
+		partBytes := 0.0
+		if out.Partitioned {
+			partBytes = float64(out.SnapshotBytes)
+		}
+		obs.GetGauge("cluster/partitioned_bytes").Set(partBytes)
 	}
 	return out
 }

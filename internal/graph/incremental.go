@@ -7,31 +7,78 @@ import (
 	"linkpred/internal/obs"
 )
 
+const (
+	// rowHeadroom is the extra capacity cloned rows get so a few subsequent
+	// inserts extend in place instead of re-allocating.
+	rowHeadroom = 4
+	// slabEntries sizes the arena slabs row clones are carved from. Clones
+	// bump-allocate out of the current slab, so a warm publish of a small
+	// batch performs O(touched rows) allocations instead of one per clone
+	// plus one per node.
+	slabEntries = 1 << 15
+)
+
 // IncrementalBuilder materializes the snapshot sequence of one trace by
 // extending the previous cut's adjacency with the trace delta, instead of
 // re-sorting the whole O(E) edge prefix per cut the way SnapshotAtEdge
-// does. Emitted graphs honor the immutability contract: rows are shared
-// with the builder copy-on-write, so a row is cloned before its first
-// mutation after an emit and snapshots already handed out never change.
+// does. Emitted graphs honor the immutability contract via a paged
+// copy-on-write layout: rows live in fixed-size pages, a row or page is
+// cloned before its first mutation after an emit, and AtEdge publishes by
+// copying only the small top-level page table — O(nodes/pageSize + touched
+// pages), not O(nodes). Row clones are carved from arena slabs reused
+// across epochs, so a warm publish of a small batch allocates O(touched
+// rows).
 //
-// AtEdge must be called with non-decreasing edge counts; the produced
-// snapshots are identical to t.SnapshotAtEdge(m) field for field (the
-// equivalence is pinned by TestIncrementalMatchesSnapshotAtEdge).
+// A builder may be partitioned (NewPartitionedBuilder): it still consumes
+// the full replicated edge stream, maintaining exact full-graph degrees and
+// the global unique-edge count, but materializes only the rows its owned
+// source range [lo, hi) can ever read under the min-endpoint ownership
+// rule: complete rows for owned sources, and for every other node only the
+// entries >= lo (the candidate side of any wedge swept from an owned
+// source) plus the min-endpoint entry that makes duplicate detection exact.
+//
+// AtEdge must be called with non-decreasing edge counts; unpartitioned
+// snapshots are identical to t.SnapshotAtEdge(m) row for row (pinned by
+// TestIncrementalMatchesSnapshotAtEdge).
 type IncrementalBuilder struct {
 	t     *Trace
 	m     int // edges applied so far
-	adj   [][]NodeID
+	n     int // rows allocated
 	edges int
+
+	pages   [][][]NodeID
+	pageGen []int32
 	// emitGen counts emitted snapshots; rowGen[u] records the generation in
 	// which row u was last cloned (rows at the current generation are owned
 	// by the builder and may be mutated in place).
 	emitGen int32
 	rowGen  []int32
+	slab    []NodeID
+
+	// Partition mode.
+	partitioned bool
+	lo, hi      NodeID
+	degPages    [][]int32
+	degPageGen  []int32
+
+	resident   int64
+	deltaRows  int64 // rows cloned or created, cumulative across emits
+	deltaPages int64 // pages cloned or created, cumulative across emits
 }
 
 // NewIncrementalBuilder returns a builder positioned before the first edge.
 func NewIncrementalBuilder(t *Trace) *IncrementalBuilder {
 	return &IncrementalBuilder{t: t}
+}
+
+// NewPartitionedBuilder returns a builder that emits partitioned snapshots
+// owning source range [lo, hi). hi is an exclusive bound and may be set
+// beyond any plausible node count for an open-ended last shard.
+func NewPartitionedBuilder(t *Trace, lo, hi NodeID) *IncrementalBuilder {
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("graph: NewPartitionedBuilder range [%d, %d) invalid", lo, hi))
+	}
+	return &IncrementalBuilder{t: t, partitioned: true, lo: lo, hi: hi}
 }
 
 // Applied returns the number of trace edges already folded into the
@@ -42,9 +89,60 @@ func (b *IncrementalBuilder) Applied() int { return b.m }
 // Trace returns the trace this builder materializes snapshots of.
 func (b *IncrementalBuilder) Trace() *Trace { return b.t }
 
+// ResidentEntries returns the number of adjacency entries currently
+// materialized (2*edges unpartitioned; fewer in partition mode).
+func (b *IncrementalBuilder) ResidentEntries() int64 {
+	if b.partitioned {
+		return b.resident
+	}
+	return 2 * int64(b.edges)
+}
+
+// DeltaRows returns the cumulative number of row clones performed — the
+// copy-on-write work the delta publishes did. Serving layers diff it across
+// publishes for the publish_delta_rows counter.
+func (b *IncrementalBuilder) DeltaRows() int64 { return b.deltaRows }
+
+// DeltaPages returns the cumulative number of page clones performed.
+func (b *IncrementalBuilder) DeltaPages() int64 { return b.deltaPages }
+
+// touchPage returns a page the builder may mutate, cloning it if it is
+// shared with an emitted snapshot.
+func (b *IncrementalBuilder) touchPage(p int) [][]NodeID {
+	pg := b.pages[p]
+	if pg == nil || b.pageGen[p] != b.emitGen {
+		clone := make([][]NodeID, pageSize)
+		copy(clone, pg)
+		b.pages[p] = clone
+		b.pageGen[p] = b.emitGen
+		b.deltaPages++
+		pg = clone
+	}
+	return pg
+}
+
+// cloneRow copies row into the arena with headroom.
+func (b *IncrementalBuilder) cloneRow(row []NodeID) []NodeID {
+	need := len(row) + rowHeadroom
+	if need > len(b.slab) {
+		size := slabEntries
+		if need > size {
+			size = need
+		}
+		b.slab = make([]NodeID, size)
+	}
+	clone := b.slab[:len(row):need]
+	b.slab = b.slab[need:]
+	copy(clone, row)
+	return clone
+}
+
 // insert adds v to u's sorted row, returning false on duplicates.
 func (b *IncrementalBuilder) insert(u, v NodeID) bool {
-	row := b.adj[u]
+	var row []NodeID
+	if pg := b.pages[int(u)>>pageShift]; pg != nil {
+		row = pg[int(u)&pageMask]
+	}
 	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
 	if i < len(row) && row[i] == v {
 		return false
@@ -52,21 +150,75 @@ func (b *IncrementalBuilder) insert(u, v NodeID) bool {
 	if b.rowGen[u] != b.emitGen {
 		// The row's backing array is shared with an emitted snapshot; clone
 		// with headroom before shifting in place.
-		clone := make([]NodeID, len(row), len(row)+4)
-		copy(clone, row)
-		row = clone
+		row = b.cloneRow(row)
 		b.rowGen[u] = b.emitGen
+		b.deltaRows++
 	}
 	row = append(row, 0)
 	copy(row[i+1:], row[i:])
 	row[i] = v
-	b.adj[u] = row
+	pg := b.touchPage(int(u) >> pageShift)
+	pg[int(u)&pageMask] = row
+	b.resident++
 	return true
 }
 
+// bumpDeg increments the full-graph degree of u (partition mode only),
+// copy-on-write against emitted snapshots.
+func (b *IncrementalBuilder) bumpDeg(u NodeID) {
+	p := int(u) >> pageShift
+	pg := b.degPages[p]
+	if pg == nil || b.degPageGen[p] != b.emitGen {
+		clone := make([]int32, pageSize)
+		copy(clone, pg)
+		b.degPages[p] = clone
+		b.degPageGen[p] = b.emitGen
+		pg = clone
+	}
+	pg[int(u)&pageMask]++
+}
+
+// apply folds one trace edge into the builder state.
+func (b *IncrementalBuilder) apply(e Edge) {
+	if e.U == e.V {
+		return
+	}
+	if top := max(e.U, e.V); int(top) >= b.n {
+		b.grow(int(top) + 1)
+	}
+	if !b.partitioned {
+		if b.insert(e.U, e.V) {
+			b.insert(e.V, e.U)
+			b.edges++
+		}
+		return
+	}
+	// Partition mode. Canonicalize so u < v; the min endpoint's row always
+	// keeps the entry (owned rows are complete, and the suffix rule keeps
+	// entries >= lo — for a min endpoint u >= lo the entry v > u >= lo
+	// qualifies; for u < lo it is kept expressly so this insert stays an
+	// exact duplicate detector even for edges both of whose endpoints lie
+	// below the owned range).
+	u, v := e.U, e.V
+	if u > v {
+		u, v = v, u
+	}
+	if !b.insert(u, v) {
+		return
+	}
+	b.edges++
+	b.bumpDeg(u)
+	b.bumpDeg(v)
+	// The reverse entry u in v's row is needed only if v's row can be read
+	// by an owned sweep: complete when v is owned, suffix >= lo otherwise.
+	if (v >= b.lo && v < b.hi) || u >= b.lo {
+		b.insert(v, u)
+	}
+}
+
 // AtEdge applies trace edges up to count m and returns the snapshot, which
-// matches t.SnapshotAtEdge(m) exactly. m must be non-decreasing across
-// calls.
+// (unpartitioned) matches t.SnapshotAtEdge(m) exactly. m must be
+// non-decreasing across calls.
 func (b *IncrementalBuilder) AtEdge(m int) *Graph {
 	if m > len(b.t.Edges) {
 		m = len(b.t.Edges)
@@ -76,16 +228,7 @@ func (b *IncrementalBuilder) AtEdge(m int) *Graph {
 	}
 	applied := m - b.m
 	for _, e := range b.t.Edges[b.m:m] {
-		if e.U == e.V {
-			continue
-		}
-		if top := max(e.U, e.V); int(top) >= len(b.adj) {
-			b.grow(int(top) + 1)
-		}
-		if b.insert(e.U, e.V) {
-			b.insert(e.V, e.U)
-			b.edges++
-		}
+		b.apply(e)
 	}
 	b.m = m
 	var tm int64
@@ -95,11 +238,21 @@ func (b *IncrementalBuilder) AtEdge(m int) *Graph {
 	// Isolated nodes arrive by timestamp alone, so the snapshot may be wider
 	// than the edge-touched prefix.
 	n := b.t.nodesArrivedBy(tm)
-	if n > len(b.adj) {
+	if n > b.n {
 		b.grow(n)
 	}
-	g := &Graph{adj: make([][]NodeID, n), edges: b.edges, Time: tm}
-	copy(g.adj, b.adj[:n])
+	np := (n + pageSize - 1) >> pageShift
+	top := make([][][]NodeID, np)
+	copy(top, b.pages[:np])
+	g := &Graph{pages: top, n: n, edges: b.edges, Time: tm}
+	if b.partitioned {
+		dtop := make([][]int32, np)
+		copy(dtop, b.degPages[:np])
+		g.part = &Partition{Lo: b.lo, Hi: b.hi, degPages: dtop}
+		g.resident = b.resident
+	} else {
+		g.resident = 2 * int64(b.edges)
+	}
 	b.emitGen++
 	if obs.Enabled() {
 		obs.GetCounter("graph/inc_snapshots").Inc()
@@ -108,10 +261,19 @@ func (b *IncrementalBuilder) AtEdge(m int) *Graph {
 	return g
 }
 
-// grow extends the adjacency to n rows; fresh rows are owned.
+// grow extends the row space to n nodes; fresh rows are owned but their
+// pages stay nil until first touched.
 func (b *IncrementalBuilder) grow(n int) {
-	for len(b.adj) < n {
-		b.adj = append(b.adj, nil)
+	for b.n < n {
 		b.rowGen = append(b.rowGen, b.emitGen)
+		b.n++
+	}
+	for np := (b.n + pageSize - 1) >> pageShift; len(b.pages) < np; {
+		b.pages = append(b.pages, nil)
+		b.pageGen = append(b.pageGen, b.emitGen)
+		if b.partitioned {
+			b.degPages = append(b.degPages, nil)
+			b.degPageGen = append(b.degPageGen, b.emitGen)
+		}
 	}
 }

@@ -1,0 +1,343 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// shardBounds returns a contiguous equal-count cover of [0, n) — boundary
+// placement is irrelevant to correctness (any disjoint cover works), so the
+// simple split keeps the tests readable.
+func shardBounds(n, shards int) [][2]NodeID {
+	out := make([][2]NodeID, shards)
+	for s := 0; s < shards; s++ {
+		out[s] = [2]NodeID{NodeID(s * n / shards), NodeID((s + 1) * n / shards)}
+	}
+	// Open-ended last shard, as the serving layer configures it.
+	out[shards-1][1] = 1 << 30
+	return out
+}
+
+func randomBuiltGraph(seed int64, n, m int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{U: u, V: v})
+	}
+	return Build(n, edges)
+}
+
+// TestPartitionViewInvariants pins the ownership + frontier contract of the
+// offline view: global metadata (node count, edge count, degrees) identical
+// to the full snapshot, owned rows shared verbatim, frontier rows truncated
+// to suffixes that keep every entry >= τ_w (w's smallest owned neighbor),
+// and nothing else materialized.
+func TestPartitionViewInvariants(t *testing.T) {
+	g := randomBuiltGraph(11, 300, 1500)
+	n := g.NumNodes()
+	for _, shards := range []int{1, 2, 3, 5, 8} {
+		var totalResident int64
+		for _, b := range shardBounds(n, shards) {
+			lo, hi := b[0], b[1]
+			pv := PartitionView(g, lo, hi)
+			if pv.Partition() == nil || !pv.Partition().Owns(lo) && lo < hi && int(lo) < n {
+				t.Fatalf("shards=%d [%d,%d): partition descriptor wrong", shards, lo, hi)
+			}
+			if pv.NumNodes() != n || pv.NumEdges() != g.NumEdges() {
+				t.Fatalf("shards=%d [%d,%d): global counts differ", shards, lo, hi)
+			}
+			clampHi := hi
+			if int(clampHi) > n {
+				clampHi = NodeID(n)
+			}
+			// τ from the definition, independently of the implementation.
+			tau := make(map[NodeID]NodeID)
+			for u := lo; u < clampHi; u++ {
+				for _, w := range g.Neighbors(u) {
+					if _, ok := tau[w]; !ok || u < tau[w] {
+						if t0, ok := tau[w]; !ok || u < t0 {
+							tau[w] = u
+						}
+					}
+				}
+			}
+			var resident int64
+			for w := 0; w < n; w++ {
+				id := NodeID(w)
+				full := g.Neighbors(id)
+				got := pv.Neighbors(id)
+				resident += int64(len(got))
+				if pv.Degree(id) != g.Degree(id) {
+					t.Fatalf("shards=%d [%d,%d): Degree(%d)=%d, want %d", shards, lo, hi, w, pv.Degree(id), g.Degree(id))
+				}
+				if id >= lo && id < clampHi {
+					if !slices.Equal(got, full) {
+						t.Fatalf("shards=%d [%d,%d): owned row %d truncated", shards, lo, hi, w)
+					}
+					continue
+				}
+				t0, frontier := tau[id]
+				if !frontier {
+					if len(got) != 0 {
+						t.Fatalf("shards=%d [%d,%d): non-frontier row %d materialized", shards, lo, hi, w)
+					}
+					continue
+				}
+				// Exactly the suffix of entries >= τ_w.
+				i := 0
+				for i < len(full) && full[i] < t0 {
+					i++
+				}
+				if !slices.Equal(got, full[i:]) {
+					t.Fatalf("shards=%d [%d,%d): frontier row %d = %v, want %v (tau=%d)", shards, lo, hi, w, got, full[i:], t0)
+				}
+			}
+			if pv.ResidentEntries() != resident {
+				t.Fatalf("shards=%d [%d,%d): ResidentEntries=%d, want %d", shards, lo, hi, pv.ResidentEntries(), resident)
+			}
+			if resident > g.ResidentEntries() {
+				t.Fatalf("shards=%d [%d,%d): view larger than full snapshot", shards, lo, hi)
+			}
+			totalResident += resident
+		}
+		_ = totalResident
+	}
+}
+
+// TestPartitionViewHasEdge: owned-endpoint probes agree with the full
+// snapshot; probes with neither endpoint owned panic rather than answering
+// from a truncated row.
+func TestPartitionViewHasEdge(t *testing.T) {
+	g := randomBuiltGraph(5, 120, 500)
+	pv := PartitionView(g, 40, 80)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		u := NodeID(rng.Intn(120))
+		v := NodeID(rng.Intn(120))
+		uOwned := u >= 40 && u < 80
+		vOwned := v >= 40 && v < 80
+		if !uOwned && !vOwned {
+			continue
+		}
+		if pv.HasEdge(u, v) != g.HasEdge(u, v) {
+			t.Fatalf("HasEdge(%d,%d) diverges from full snapshot", u, v)
+		}
+	}
+	assertPanics(t, "HasEdge outside owned range", func() { pv.HasEdge(3, 99) })
+	assertPanics(t, "CommonNeighbors on partition", func() { pv.CommonNeighbors(41, 45) })
+	assertPanics(t, "Subgraph on partition", func() { pv.Subgraph([]NodeID{1, 2}) })
+	assertPanics(t, "PartitionView of a partition", func() { PartitionView(pv, 0, 10) })
+}
+
+func assertPanics(t *testing.T, label string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", label)
+		}
+	}()
+	f()
+}
+
+// Property: the streaming partitioned builder materializes, at every cut of
+// a randomized (duplicate-bearing) trace, a superset of the offline
+// PartitionView's rows and a subset of the full snapshot's — with exact
+// global degrees and edge counts — and earlier emissions stay immutable as
+// the builder advances.
+func TestPartitionedBuilderMatchesViewQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng)
+		n := len(tr.Arrival)
+		shards := 1 + rng.Intn(4)
+		bounds := shardBounds(n, shards)
+		s := rng.Intn(shards)
+		lo, hi := bounds[s][0], bounds[s][1]
+		b := NewPartitionedBuilder(tr, lo, hi)
+		cuts := tr.Cuts(1 + rng.Intn(5))
+		type emitted struct {
+			m int
+			g *Graph
+		}
+		var prev []emitted
+		check := func(pg *Graph, m int) bool {
+			full := tr.SnapshotAtEdge(m)
+			if pg.NumNodes() != full.NumNodes() || pg.NumEdges() != full.NumEdges() || pg.Time != full.Time {
+				return false
+			}
+			view := PartitionView(full, lo, hi)
+			var resident int64
+			for u := 0; u < full.NumNodes(); u++ {
+				id := NodeID(u)
+				if pg.Degree(id) != full.Degree(id) {
+					return false
+				}
+				row := pg.Neighbors(id)
+				resident += int64(len(row))
+				fullRow := full.Neighbors(id)
+				if id >= lo && id < hi {
+					if !slices.Equal(row, fullRow) {
+						return false
+					}
+					continue
+				}
+				// Subset of the true row, superset of the view's τ-suffix.
+				for _, v := range row {
+					if !slices.Contains(fullRow, v) {
+						return false
+					}
+				}
+				for _, v := range view.Neighbors(id) {
+					if !slices.Contains(row, v) {
+						return false
+					}
+				}
+			}
+			return pg.ResidentEntries() == resident
+		}
+		for _, c := range cuts {
+			pg := b.AtEdge(c.EdgeCount)
+			if !check(pg, c.EdgeCount) {
+				return false
+			}
+			prev = append(prev, emitted{c.EdgeCount, pg})
+		}
+		for _, e := range prev {
+			if !check(e.g, e.m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalDeltaSchedulesQuick: randomized batch schedules (not just
+// Cuts) reproduce SnapshotAtEdge exactly, including degenerate zero-edge
+// batches, on the paged delta-publish layout.
+func TestIncrementalDeltaSchedulesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng)
+		b := NewIncrementalBuilder(tr)
+		m := 0
+		for m < tr.NumEdges() {
+			m += rng.Intn(7) // zero-length batches included
+			if m > tr.NumEdges() {
+				m = tr.NumEdges()
+			}
+			if !graphsEqual(b.AtEdge(m), tr.SnapshotAtEdge(m)) {
+				return false
+			}
+		}
+		return graphsEqual(b.AtEdge(tr.NumEdges()), tr.SnapshotAtEdge(tr.NumEdges()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// warmPublishTrace builds a wide trace (all nodes arrive up front, edges in
+// timestamp order) so publish-time costs can be measured at a given node
+// count.
+func warmPublishTrace(rng *rand.Rand, n, m int) *Trace {
+	arr := make([]int64, n)
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{U: u, V: v, Time: 1})
+	}
+	return &Trace{Name: "warm", Arrival: arr, Edges: edges}
+}
+
+// TestWarmPublishAllocs is the delta-publish allocation guard: once the
+// builder is warm, publishing a small batch allocates O(touched rows + top
+// page table), independent of the node count. A full-CSR rebuild (or a
+// per-node page table copy) would blow the bound by orders of magnitude.
+func TestWarmPublishAllocs(t *testing.T) {
+	for _, n := range []int{4096, 32768} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		tr := warmPublishTrace(rng, n, n*4)
+		b := NewIncrementalBuilder(tr)
+		warm := tr.NumEdges() / 2
+		b.AtEdge(warm)
+		const batch = 16
+		m := warm
+		allocs := testing.AllocsPerRun(20, func() {
+			m += batch
+			if m > tr.NumEdges() {
+				t.Fatalf("trace too short for alloc run")
+			}
+			b.AtEdge(m)
+		})
+		// Per publish: one top page-table copy, up to `batch` row clones and
+		// 2*batch page clones (amortized arena slabs add a fraction more).
+		// The bound is deliberately loose but far below O(n) — a per-node
+		// cost at n=32768 would show up as thousands of allocations.
+		if allocs > 128 {
+			t.Fatalf("n=%d: warm publish of %d edges allocated %.0f times; want O(touched rows)", n, batch, allocs)
+		}
+	}
+}
+
+// TestWarmPublishAllocsPartitioned covers the partitioned builder's extra
+// degree-page copies under the same bound.
+func TestWarmPublishAllocsPartitioned(t *testing.T) {
+	const n = 16384
+	rng := rand.New(rand.NewSource(77))
+	tr := warmPublishTrace(rng, n, n*4)
+	b := NewPartitionedBuilder(tr, NodeID(n/4), NodeID(n/2))
+	b.AtEdge(tr.NumEdges() / 2)
+	const batch = 16
+	m := tr.NumEdges() / 2
+	allocs := testing.AllocsPerRun(20, func() {
+		m += batch
+		if m > tr.NumEdges() {
+			t.Fatalf("trace too short for alloc run")
+		}
+		b.AtEdge(m)
+	})
+	if allocs > 192 {
+		t.Fatalf("partitioned warm publish of %d edges allocated %.0f times; want O(touched rows)", batch, allocs)
+	}
+}
+
+// TestPartitionedBuilderDeltaCounters: DeltaRows/DeltaPages advance with
+// publish work and ResidentEntries tracks the materialized entry count.
+func TestPartitionedBuilderDeltaCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := warmPublishTrace(rng, 100, 400)
+	b := NewPartitionedBuilder(tr, 0, 50)
+	g1 := b.AtEdge(tr.NumEdges() / 2)
+	r1, p1 := b.DeltaRows(), b.DeltaPages()
+	if p1 == 0 {
+		t.Fatal("first publish reported no page work")
+	}
+	g2 := b.AtEdge(tr.NumEdges())
+	if b.DeltaRows() <= r1 {
+		t.Fatal("second publish did not advance DeltaRows")
+	}
+	if g2.ResidentEntries() < g1.ResidentEntries() {
+		t.Fatal("resident entries shrank across publishes")
+	}
+	if g1.ResidentEntries() != PartitionView(tr.SnapshotAtEdge(tr.NumEdges()/2), 0, 50).ResidentEntries() {
+		// The streaming rule keeps a superset of the view's rows, so resident
+		// counts may differ — but never by less.
+		if g1.ResidentEntries() < PartitionView(tr.SnapshotAtEdge(tr.NumEdges()/2), 0, 50).ResidentEntries() {
+			t.Fatal("streaming builder materialized less than the minimal view")
+		}
+	}
+}

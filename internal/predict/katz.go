@@ -59,6 +59,7 @@ func katzFactors(g *graph.Graph, opt Options) (scaled, raw *linalg.Dense) {
 }
 
 func (katzLR) Predict(g *graph.Graph, k int, opt Options) []Pair {
+	mustFullGraph(g, "Katz")
 	validateOptions(opt)
 	r := beginRun("Katz", opPredict)
 	defer r.end()
@@ -72,6 +73,7 @@ func (katzLR) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (katzLR) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	mustFullGraph(g, "Katz")
 	r := beginRun("Katz", opScorePairs)
 	defer r.end()
 	r.addPairs(int64(len(pairs)))
@@ -197,6 +199,7 @@ func pickLandmarks(g *graph.Graph, L int, seed int64) []graph.NodeID {
 }
 
 func (katzSC) Predict(g *graph.Graph, k int, opt Options) []Pair {
+	mustFullGraph(g, "KatzSC")
 	validateOptions(opt)
 	r := beginRun("KatzSC", opPredict)
 	defer r.end()
@@ -208,6 +211,7 @@ func (katzSC) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (katzSC) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	mustFullGraph(g, "KatzSC")
 	r := beginRun("KatzSC", opScorePairs)
 	defer r.end()
 	r.addPairs(int64(len(pairs)))

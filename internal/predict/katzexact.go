@@ -55,6 +55,7 @@ func katzLen(opt Options) int {
 }
 
 func (katzExactT) Predict(g *graph.Graph, k int, opt Options) []Pair {
+	mustFullGraph(g, "KatzExact")
 	validateOptions(opt)
 	r := beginRun("KatzExact", opPredict)
 	defer r.end()
@@ -90,6 +91,7 @@ func (katzExactT) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (katzExactT) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	mustFullGraph(g, "KatzExact")
 	r := beginRun("KatzExact", opScorePairs)
 	defer r.end()
 	r.addPairs(int64(len(pairs)))

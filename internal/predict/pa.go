@@ -81,6 +81,7 @@ func (f *paFrontier) pop() paItem {
 }
 
 func (paAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
+	opt = resolvePartition(g, opt)
 	validateOptions(opt)
 	r := beginRun("PA", opPredict)
 	defer r.end()
@@ -110,7 +111,10 @@ func (paAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 			break
 		}
 		u, v := order[it.i], order[it.j]
-		if !g.HasEdge(u, v) && opt.ownsPair(u, v) {
+		// Ownership is checked first: on a partitioned snapshot an owned pair
+		// guarantees HasEdge an owned (complete) endpoint row, and unowned
+		// pairs must not probe adjacency at all.
+		if opt.ownsPair(u, v) && !g.HasEdge(u, v) {
 			top.Add(u, v, float64(it.product))
 		}
 		if int(it.i+1) < n && it.i+1 < it.j {

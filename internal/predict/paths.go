@@ -18,6 +18,7 @@ var SP Algorithm = spAlgorithm{}
 func (spAlgorithm) Name() string { return "SP" }
 
 func (spAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
+	mustFullGraph(g, "SP")
 	validateOptions(opt)
 	r := beginRun("SP", opPredict)
 	defer r.end()
@@ -88,6 +89,7 @@ func (spAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (spAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	mustFullGraph(g, "SP")
 	r := beginRun("SP", opScorePairs)
 	defer r.end()
 	r.addPairs(int64(len(pairs)))
@@ -179,6 +181,7 @@ func lpCounts(g *graph.Graph, u graph.NodeID, s *lpScratch) {
 }
 
 func (lpAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
+	mustFullGraph(g, "LP")
 	validateOptions(opt)
 	r := beginRun("LP", opPredict)
 	defer r.end()
@@ -222,6 +225,7 @@ func (lpAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (lpAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	mustFullGraph(g, "LP")
 	r := beginRun("LP", opScorePairs)
 	defer r.end()
 	r.addPairs(int64(len(pairs)))

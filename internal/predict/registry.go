@@ -55,6 +55,7 @@ func ByName(name string) (Algorithm, error) {
 // RandomPrediction draws k distinct unconnected pairs uniformly at random,
 // the paper's baseline predictor (§4.1).
 func RandomPrediction(g *graph.Graph, k int, seed int64) []Pair {
+	mustFullGraph(g, "RandomPrediction")
 	n := g.NumNodes()
 	if n < 2 || k <= 0 {
 		return nil

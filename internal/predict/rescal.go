@@ -107,6 +107,7 @@ func rescalScore(xr, x *linalg.Dense, u, v graph.NodeID) float64 {
 }
 
 func (rescalAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
+	mustFullGraph(g, "Rescal")
 	validateOptions(opt)
 	r := beginRun("Rescal", opPredict)
 	defer r.end()
@@ -120,6 +121,7 @@ func (rescalAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (rescalAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	mustFullGraph(g, "Rescal")
 	r := beginRun("Rescal", opScorePairs)
 	defer r.end()
 	r.addPairs(int64(len(pairs)))

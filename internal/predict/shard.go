@@ -1,6 +1,11 @@
 package predict
 
-import "linkpred/internal/graph"
+import (
+	"fmt"
+	"math/bits"
+
+	"linkpred/internal/graph"
+)
 
 // This file is the source-sharding layer of the prediction engine: the
 // SourceRange restriction that lets N processes each sweep a contiguous
@@ -50,38 +55,130 @@ func ShardSourceRange(n, shard, shards int) SourceRange {
 	return SourceRange{Lo: shard * n / shards, Hi: (shard + 1) * n / shards}
 }
 
-// WeightedSourceRanges partitions [0, n) into shards contiguous source
-// ranges of approximately equal sweep cost instead of equal node count.
-// Growth traces assign low IDs to old nodes, and old nodes are the hubs, so
-// equal-count ranges pile the expensive sources — and, under the min(u, v)
-// ownership rule, nearly all hub–hub candidates — onto shard 0; measured on
-// renren-100k, shard 0 of 4 carries ~65% of the sweep. The weight here is
-// each source's wedge count Σ_{v∈N(u)} deg(v) (+1 per node so empty ranges
-// only appear when shards > n), the work driver of the local-family sweep
-// and a serviceable proxy for the other per-source families. Boundaries are
-// chosen by prefix-sum so every shard gets ~total/shards weight.
+// CostModel selects the per-source work estimate shard boundaries are
+// balanced over. One wedge-weight model fits the unbounded local sweeps but
+// misprices everything else: the naive Bayes kernels prune hub sources
+// almost immediately (their per-witness terms go negative exactly where
+// wedge counts explode), and the latent families do per-source work
+// proportional to a row, not a wedge fan-out. Balancing each family by its
+// own cost curve is what lifts the bounded kernels past the ~1.8× plateau
+// the wedge split left them at on 4 shards.
+type CostModel uint8
+
+const (
+	// CostWedge weighs source u by 1 + Σ_{v∈N(u)} deg(v), the wedge-visit
+	// count of the unbounded local sweep (CN, JC, AA, RA and the survey
+	// extensions).
+	CostWedge CostModel = iota
+	// CostCappedWedge weighs source u by 1 + Σ_{v∈N(u)} min(deg(v),
+	// WedgeCap). The naive Bayes family's additive score bounds collapse on
+	// hub sources (hub witnesses carry negative log role-ratios), so top-k
+	// pruning truncates their hub sweeps after a bounded amount of work —
+	// the uncapped model bills shard 0 for wedges the pruned engine never
+	// visits and starves the tail shards.
+	CostCappedWedge
+	// CostRows weighs source u by 1 + deg(u): the per-source cost of the
+	// row-driven families (matvec-backed latents, walks, paths), which
+	// touch each adjacency row O(1) times per iteration rather than
+	// fanning out through neighbor degrees.
+	CostRows
+)
+
+// WedgeCap is the per-neighbor degree cap of CostCappedWedge. The value
+// tracks the effective hub truncation of the pruned naive Bayes sweeps on
+// power-law growth traces; it is a balance heuristic only — boundary choice
+// never affects output, just shard wall-clock skew.
+const WedgeCap = 64
+
+// CostModelFor maps an algorithm name to the cost model that best predicts
+// its per-source sweep cost. Unknown names get CostWedge, the conservative
+// default.
+func CostModelFor(alg string) CostModel {
+	switch alg {
+	case "BCN", "BAA", "BRA":
+		return CostCappedWedge
+	case "SP", "LP", "LRW", "SRW", "PPR", "Katz", "KatzSC", "KatzExact", "Rescal":
+		return CostRows
+	default:
+		return CostWedge
+	}
+}
+
+// SourceCosts returns the per-source cost array of model over g, plus its
+// total. Costs are exact integer functions of the degree sequence (every
+// node contributes at least 1, so empty ranges only appear when shards >
+// n). Requires a full snapshot: boundary planning happens where the whole
+// degree/adjacency structure lives (replicas and the bench harness), never
+// on a partitioned shard.
 //
-// The split is a pure function of the snapshot's degree sequence: replicas
-// holding identical snapshots compute identical boundaries with no
-// coordination, which is what lets each cluster worker derive its own range
-// from (shard, shards) alone. The ranges are contiguous, disjoint, and
-// cover [0, n), so the ownership rule and merge-exactness argument above
-// apply unchanged.
-func WeightedSourceRanges(g *graph.Graph, shards int) []SourceRange {
+// The wedge models additionally apply a pruning-survival weight: the
+// top-k engine sweeps sources in descending upper-bound order and
+// truncates the suffix once the floor passes it, so a source's expected
+// work is its wedge count times the chance it is swept at all. Growth
+// traces assign low IDs to old (hub) nodes, whose bounds stay above any
+// floor, while high-ID tail sources are almost always truncated —
+// profiled in 16 equal-wedge blocks on renren-100k, the effective cost
+// per wedge decays near-linearly from ~1.7× the mean at the head to
+// ~0.4× at the tail. The weight m(F) = 7/4 − 5/4·F (F = wedge-prefix
+// fraction) models that decay; without it, raw wedge balance hands the
+// hub shard ~1.6× the mean wall clock (2.3× at 4 shards where ~3.2× is
+// reachable). Still a pure integer function of the degree sequence, so
+// replicas agree; boundary choice never affects output, only skew.
+func SourceCosts(g *graph.Graph, model CostModel) (costs []uint64, total uint64) {
+	mustFullGraph(g, "SourceCosts")
+	n := g.NumNodes()
+	costs = make([]uint64, n)
+	for u := 0; u < n; u++ {
+		w := uint64(1)
+		switch model {
+		case CostRows:
+			w += uint64(g.Degree(graph.NodeID(u)))
+		case CostCappedWedge:
+			for _, v := range g.Neighbors(graph.NodeID(u)) {
+				if d := g.Degree(v); d < WedgeCap {
+					w += uint64(d)
+				} else {
+					w += WedgeCap
+				}
+			}
+		default:
+			for _, v := range g.Neighbors(graph.NodeID(u)) {
+				w += uint64(g.Degree(v))
+			}
+		}
+		costs[u] = w
+		total += w
+	}
+	if model == CostRows || total == 0 {
+		return costs, total
+	}
+	// costs[u] ← costs[u] · (7·total − 5·prefix) / (4·total), in 128-bit
+	// intermediates so degenerate dense graphs cannot overflow.
+	var prefix, rescaled uint64
+	for u := range costs {
+		w := costs[u]
+		hi, lo := bits.Mul64(w, 7*total-5*prefix)
+		q, _ := bits.Div64(hi, lo, 4*total)
+		if q == 0 {
+			q = 1
+		}
+		costs[u] = q
+		prefix += w
+		rescaled += q
+	}
+	return costs, rescaled
+}
+
+// RangesFromCosts partitions [0, len(costs)) into shards contiguous ranges
+// of approximately equal total cost, by prefix-sum against evenly spaced
+// targets. The ranges are contiguous, disjoint, and cover the whole span,
+// so the ownership rule and merge-exactness argument above apply at any
+// boundary placement.
+func RangesFromCosts(costs []uint64, total uint64, shards int) []SourceRange {
 	if shards <= 0 {
 		panic("predict: invalid shard count")
 	}
-	n := g.NumNodes()
-	var total uint64
-	weight := make([]uint64, n)
-	for u := 0; u < n; u++ {
-		w := uint64(1)
-		for _, v := range g.Neighbors(graph.NodeID(u)) {
-			w += uint64(g.Degree(v))
-		}
-		weight[u] = w
-		total += w
-	}
+	n := len(costs)
 	ranges := make([]SourceRange, shards)
 	lo := 0
 	var acc uint64
@@ -91,8 +188,8 @@ func WeightedSourceRanges(g *graph.Graph, shards int) []SourceRange {
 			hi = n
 		} else {
 			target := total * uint64(s+1) / uint64(shards)
-			for hi < n && acc+weight[hi] <= target {
-				acc += weight[hi]
+			for hi < n && acc+costs[hi] <= target {
+				acc += costs[hi]
 				hi++
 			}
 		}
@@ -100,6 +197,99 @@ func WeightedSourceRanges(g *graph.Graph, shards int) []SourceRange {
 		lo = hi
 	}
 	return ranges
+}
+
+// WeightedSourceRangesFor partitions [0, n) into shards contiguous source
+// ranges of approximately equal cost under model. Growth traces assign low
+// IDs to old nodes, and old nodes are the hubs, so equal-count ranges pile
+// the expensive sources — and, under the min(u, v) ownership rule, nearly
+// all hub–hub candidates — onto shard 0; measured on renren-100k, shard 0
+// of 4 carries ~65% of the wedge sweep.
+//
+// The split is a pure function of the snapshot's degree sequence and the
+// model: replicas holding identical snapshots compute identical boundaries
+// with no coordination, which is what lets each cluster worker derive its
+// own range from (shard, shards, algorithm) alone.
+func WeightedSourceRangesFor(g *graph.Graph, shards int, model CostModel) []SourceRange {
+	if shards <= 0 {
+		panic("predict: invalid shard count")
+	}
+	costs, total := SourceCosts(g, model)
+	return RangesFromCosts(costs, total, shards)
+}
+
+// WeightedSourceRanges is WeightedSourceRangesFor under CostWedge, the
+// historical wedge-weight split.
+func WeightedSourceRanges(g *graph.Graph, shards int) []SourceRange {
+	return WeightedSourceRangesFor(g, shards, CostWedge)
+}
+
+// PartitionSafe reports whether the named algorithm may run on a
+// partitioned snapshot (graph.PartitionView / graph.NewPartitionedBuilder).
+// Safe algorithms read only owned sources' rows plus the frontier suffixes
+// those rows certify, and finish candidates from global degrees — exactly
+// the state a partitioned snapshot materializes — so their output over the
+// owned range is bit-identical to a full snapshot's. Everything else (the
+// naive Bayes family's triangle prepass, path/walk traversals, the latent
+// factorizations, the random baseline) reads rows an ownership partition
+// drops, and panics on partitioned snapshots rather than silently
+// mis-scoring.
+func PartitionSafe(name string) bool {
+	switch name {
+	case "CN", "JC", "AA", "RA", "PA", "Salton", "Sorensen", "HPI", "HDI", "LHN":
+		return true
+	}
+	return false
+}
+
+// mustFullGraph panics when g is a partitioned snapshot: op's traversal
+// reads adjacency rows outside the partition's materialized set, so its
+// result would be silently wrong rather than detectably absent.
+func mustFullGraph(g *graph.Graph, op string) {
+	if g.Partition() != nil {
+		panic("predict: " + op + " requires a full snapshot; partitioned snapshots support only the partition-safe local family (see PartitionSafe)")
+	}
+}
+
+// resolvePartition reconciles the call's source restriction with a
+// partitioned snapshot: nil defaults to the owned range, an explicit range
+// must sit inside it (sources outside the owned range have incomplete rows,
+// so sweeping them would produce silently wrong scores). Full snapshots
+// pass through untouched. The returned Options carry a fresh SourceRange;
+// the caller's is never mutated.
+func resolvePartition(g *graph.Graph, opt Options) Options {
+	p := g.Partition()
+	if p == nil {
+		return opt
+	}
+	n := g.NumNodes()
+	lo, hi := int(p.Lo), int(p.Hi)
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	if opt.SourceRange == nil {
+		opt.SourceRange = &SourceRange{Lo: lo, Hi: hi}
+		return opt
+	}
+	rlo, rhi := opt.SourceRange.Lo, opt.SourceRange.Hi
+	if rlo < 0 {
+		rlo = 0
+	}
+	if rhi > n {
+		rhi = n
+	}
+	if rhi < rlo {
+		rhi = rlo
+	}
+	if rlo < lo || rhi > hi {
+		panic(fmt.Sprintf("predict: SourceRange [%d, %d) reaches outside the partitioned snapshot's owned range [%d, %d)",
+			opt.SourceRange.Lo, opt.SourceRange.Hi, lo, hi))
+	}
+	opt.SourceRange = &SourceRange{Lo: rlo, Hi: rhi}
+	return opt
 }
 
 // sourceSpan resolves the call's source restriction against an n-node

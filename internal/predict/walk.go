@@ -53,6 +53,7 @@ func lrwDistribution(g *graph.Graph, u graph.NodeID, m int, s *walkScratch) *spa
 }
 
 func (lrwAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
+	mustFullGraph(g, "LRW")
 	validateOptions(opt)
 	r := beginRun("LRW", opPredict)
 	defer r.end()
@@ -93,6 +94,7 @@ func (lrwAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (lrwAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	mustFullGraph(g, "LRW")
 	r := beginRun("LRW", opScorePairs)
 	defer r.end()
 	r.addPairs(int64(len(pairs)))
@@ -172,6 +174,7 @@ func srwDistribution(g *graph.Graph, u graph.NodeID, m int, s *srwScratch) *spar
 }
 
 func (srwAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
+	mustFullGraph(g, "SRW")
 	validateOptions(opt)
 	r := beginRun("SRW", opPredict)
 	defer r.end()
@@ -212,6 +215,7 @@ func (srwAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (srwAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	mustFullGraph(g, "SRW")
 	r := beginRun("SRW", opScorePairs)
 	defer r.end()
 	r.addPairs(int64(len(pairs)))
@@ -320,6 +324,7 @@ func pprPush(g *graph.Graph, u graph.NodeID, alpha, eps float64, s *pprScratch) 
 }
 
 func (pprAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
+	mustFullGraph(g, "PPR")
 	validateOptions(opt)
 	r := beginRun("PPR", opPredict)
 	defer r.end()
@@ -406,6 +411,7 @@ func (pprAlgorithm) Predict(g *graph.Graph, k int, opt Options) []Pair {
 }
 
 func (pprAlgorithm) ScorePairs(g *graph.Graph, pairs []Pair, opt Options) []float64 {
+	mustFullGraph(g, "PPR")
 	r := beginRun("PPR", opScorePairs)
 	defer r.end()
 	r.addPairs(int64(len(pairs)))

@@ -25,6 +25,21 @@ func Warm(g *graph.Graph, names []string, opt Options) {
 	// Artifact builds must not inherit a request deadline (see Options.Ctx).
 	opt.Ctx = nil
 	arts := snapcache.For(g)
+	if g.Partition() != nil {
+		// Partitioned snapshots serve only the partition-safe local family.
+		// The latent factorizations and the linalg CSR would silently read
+		// the truncated frontier rows, so only the degree-derived artifacts
+		// are warmed (CSRView disables its hub block on partitions itself).
+		arts.DegreeOrder()
+		arts.CSRView()
+		wedgeWork(g)
+		for _, name := range names {
+			if name == "AA" || name == "RA" {
+				logDegTable(g)
+			}
+		}
+		return
+	}
 	arts.DegreeOrder()
 	// The degree-ordered view with hub bitsets backs the local metrics'
 	// batch probes and naive Bayes statistics; build it off the request

@@ -106,6 +106,18 @@ type Config struct {
 	// controller routes latent algorithms to the proxy with the best
 	// measured accuracy-per-cost instead of the static table.
 	Eval *liveeval.Engine
+	// Partition, when non-nil, runs the server as one ownership shard of a
+	// memory-partitioned cluster: the snapshot builder still ingests the
+	// full replicated edge stream, but materializes only the adjacency rows
+	// of sources in [Partition[0], Partition[1]) plus their 1-hop frontier
+	// (DESIGN.md §13). Predict answers exactly the owned source range (the
+	// response is shard-restricted, mergeable by predict.MergeTopK), Score
+	// answers only pairs whose min endpoint is owned (flagged Owned), and
+	// only the partition-safe local family is served — anything else is
+	// rejected with ErrPartitionUnsupported. The bounds are static for the
+	// life of the process: dropped rows cannot be recovered, so resharding
+	// means replaying the trace into new servers.
+	Partition *[2]int
 }
 
 // DegradeConfig tunes graceful degradation. Zero fields take defaults.
@@ -147,6 +159,12 @@ type PairScore struct {
 	DU    graph.NodeID `json:"du,omitempty"`
 	DV    graph.NodeID `json:"dv,omitempty"`
 	Score float64      `json:"score"`
+	// Owned appears on partitioned score responses only: true when this
+	// shard owns the pair's min endpoint, so its Score is authoritative. A
+	// router broadcasting a score request to every shard keeps exactly the
+	// owned answer per pair (ownership is a disjoint cover, so exactly one
+	// shard flags each resolvable pair).
+	Owned bool `json:"owned,omitempty"`
 }
 
 // Result is the payload of one answered query.
@@ -186,6 +204,13 @@ type Health struct {
 	Nodes         int   `json:"nodes"`
 	Degraded      bool  `json:"degraded"`
 	QueueDepth    int   `json:"queue_depth"`
+	// SnapshotBytes is the resident adjacency footprint of the published
+	// snapshot; on a partitioned shard it covers only the owned rows plus
+	// frontier, which is the point of partitioning. PartitionRange reports
+	// the configured ownership bounds (absent on full servers) so a router
+	// can verify its shards form a disjoint cover before merging.
+	SnapshotBytes  int64   `json:"snapshot_bytes"`
+	PartitionRange *[2]int `json:"partition_range,omitempty"`
 }
 
 var (
@@ -198,6 +223,12 @@ var (
 	// deadline cancelled the shared sweep mid-flight; the request is safe
 	// to retry (HTTP 503).
 	ErrBatchAborted = errors.New("serve: batch aborted by leader deadline; retry")
+	// ErrPartitionUnsupported rejects an algorithm outside the
+	// partition-safe local family on a memory-partitioned server (HTTP 400):
+	// the shard's truncated frontier rows cannot support walks, paths, or
+	// latent factorizations exactly, and this system never serves silently
+	// wrong scores.
+	ErrPartitionUnsupported = errors.New("serve: algorithm not supported on a partitioned shard (see predict.PartitionSafe)")
 )
 
 // latentProxy maps each latent-family algorithm to the fused local metric
@@ -277,6 +308,10 @@ type Server struct {
 	// (snapshot-age gauge).
 	traceLen      atomic.Int64
 	lastPublishNS atomic.Int64
+	// lastDeltaRows is the builder's DeltaRows at the previous publication;
+	// the per-publish difference feeds the publish_delta_rows counter.
+	// Guarded by mu (only publishLocked touches it).
+	lastDeltaRows int64
 
 	// costMu guards cost, the per-served-algorithm decayed mean latency
 	// feeding the accuracy-per-cost routing.
@@ -325,12 +360,19 @@ func New(cfg Config) (*Server, error) {
 	} else if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("serve: warm-start trace: %w", err)
 	}
+	builder := graph.NewIncrementalBuilder(tr)
+	if p := cfg.Partition; p != nil {
+		if p[0] < 0 || p[1] <= p[0] {
+			return nil, fmt.Errorf("serve: bad partition range [%d, %d)", p[0], p[1])
+		}
+		builder = graph.NewPartitionedBuilder(tr, graph.NodeID(p[0]), graph.NodeID(p[1]))
+	}
 	s := &Server{
 		cfg:     cfg,
 		queue:   make(chan *request, cfg.QueueDepth),
 		done:    make(chan struct{}),
 		trace:   tr,
-		builder: graph.NewIncrementalBuilder(tr),
+		builder: builder,
 		remap:   make(map[int64]graph.NodeID, tr.NumNodes()),
 		deg:     newDegrader(cfg.Degrade, cfg.QueueDepth),
 		cost:    make(map[string]float64),
@@ -384,6 +426,16 @@ func (s *Server) registerGauges() {
 		}
 		return 0
 	})
+	obs.SetGaugeFunc("serve/snapshot_bytes", func() float64 {
+		return float64(s.cur.Load().Graph.ResidentBytes())
+	})
+	obs.SetGaugeFunc("serve/partitioned_bytes", func() float64 {
+		snap := s.cur.Load()
+		if snap.Graph.Partition() == nil {
+			return 0
+		}
+		return float64(snap.Graph.ResidentBytes())
+	})
 }
 
 // Close stops the server: in-flight requests finish, queued requests are
@@ -430,6 +482,14 @@ func (s *Server) Health() Health {
 		Nodes:         snap.Graph.NumNodes(),
 		Degraded:      s.deg.degraded(),
 		QueueDepth:    len(s.queue),
+		SnapshotBytes: snap.Graph.ResidentBytes(),
+		PartitionRange: func() *[2]int {
+			if s.cfg.Partition == nil {
+				return nil
+			}
+			r := *s.cfg.Partition
+			return &r
+		}(),
 	}
 }
 
@@ -540,8 +600,15 @@ func (s *Server) publishLocked() *Snapshot {
 	prev := s.cur.Load()
 	s.cur.Store(snap)
 	s.lastPublishNS.Store(time.Now().UnixNano())
+	deltaRows := s.builder.DeltaRows() - s.lastDeltaRows
+	s.lastDeltaRows = s.builder.DeltaRows()
 	if obs.Enabled() {
 		obs.GetCounter("serve/snapshots_published").Inc()
+		if deltaRows > 0 {
+			// Rows COW-cloned for this publish: the O(touched) work unit of the
+			// delta-CSR path, and the quantity the CI alloc gate tracks.
+			obs.GetCounter("serve/publish_delta_rows").Add(deltaRows)
+		}
 		if prev != nil {
 			obs.GetHistogram("serve/publish_batch_edges").Observe(int64(snap.Edges - prev.Edges))
 		}
@@ -577,8 +644,16 @@ func (s *Server) PredictShard(ctx context.Context, alg string, k, shard, shards 
 	if _, err := s.cfg.Resolve(alg); err != nil {
 		return nil, err
 	}
+	if err := s.checkPartitioned(alg); err != nil {
+		return nil, err
+	}
 	if k <= 0 {
 		return nil, fmt.Errorf("serve: k must be positive, got %d", k)
+	}
+	if s.cfg.Partition != nil && shards > 1 {
+		// A partitioned shard's sweep range IS its ownership range; a
+		// router-imposed sub-range would double-partition the ID space.
+		return nil, fmt.Errorf("serve: %w: shard parameters conflict with the configured partition", ErrPartitionUnsupported)
 	}
 	if shards > 1 && (shard < 0 || shard >= shards) {
 		return nil, fmt.Errorf("serve: shard %d out of range for %d shards", shard, shards)
@@ -596,6 +671,9 @@ func (s *Server) Score(ctx context.Context, alg string, pairs [][2]int64) (*Resu
 	if _, err := s.cfg.Resolve(alg); err != nil {
 		return nil, err
 	}
+	if err := s.checkPartitioned(alg); err != nil {
+		return nil, err
+	}
 	req := &request{kind: kindScore, alg: alg, ext: pairs, ctx: ctx, done: make(chan outcome, 1)}
 	req.dense = make([]densePair, len(pairs))
 	for i, p := range pairs {
@@ -604,6 +682,15 @@ func (s *Server) Score(ctx context.Context, alg string, pairs [][2]int64) (*Resu
 		req.dense[i] = densePair{u: u, v: v, ok: uok && vok}
 	}
 	return s.submit(req)
+}
+
+// checkPartitioned rejects algorithms outside the partition-safe local
+// family on a memory-partitioned server, before they ever enter the queue.
+func (s *Server) checkPartitioned(alg string) error {
+	if s.cfg.Partition != nil && !predict.PartitionSafe(alg) {
+		return fmt.Errorf("serve: algorithm %q: %w", alg, ErrPartitionUnsupported)
+	}
+	return nil
 }
 
 // submit enqueues a request (rejecting on overload or shutdown) and waits
@@ -800,13 +887,29 @@ func (s *Server) servePredict(r *request, snap *Snapshot) {
 	opt.Ctx = r.ctx
 	sharded := r.shards > 1
 	var srange predict.SourceRange
-	if sharded {
-		// Degree-weighted boundaries, not equal-count: growth traces put the
+	switch {
+	case snap.Graph.Partition() != nil:
+		// The memory partition is the shard: sweep exactly the owned source
+		// range and report it, so the router merges this partial list the
+		// same way it merges work-sharded responses. The range is clamped to
+		// the snapshot's node count (the last shard's Hi is a sentinel).
+		p := snap.Graph.Partition()
+		n := snap.Graph.NumNodes()
+		srange = predict.SourceRange{Lo: min(int(p.Lo), n), Hi: min(int(p.Hi), n)}
+		opt.SourceRange = &srange
+		sharded = true
+	case sharded:
+		// Cost-weighted boundaries, not equal-count: growth traces put the
 		// hubs at low IDs, and equal-count ranges leave shard 0 with most of
-		// the sweep. The split is a pure function of the snapshot, so every
-		// replica serving the same epoch derives the same boundaries from
-		// (shard, shards) alone — the router learns them from shard_range.
-		srange = predict.WeightedSourceRanges(snap.Graph, r.shards)[r.shard]
+		// the sweep. The cost model follows the *requested* algorithm's
+		// kernel family (wedge, capped-wedge for the pruned bounded sweeps,
+		// row-count for the latents), so BCN no longer inherits a boundary
+		// priced for an unpruned hub sweep it will never run. The split is a
+		// pure function of (snapshot, shards, alg) — every replica serving
+		// the same epoch derives the same disjoint cover, and the router
+		// learns the ranges from shard_range.
+		model := predict.CostModelFor(r.alg)
+		srange = predict.WeightedSourceRangesFor(snap.Graph, r.shards, model)[r.shard]
 		opt.SourceRange = &srange
 	}
 	pairs := alg.Predict(snap.Graph, r.k, opt)
@@ -890,6 +993,7 @@ func (s *Server) serveScoreGroup(grp []*request, snap *Snapshot) {
 	// (unknown external ID, node newer than the snapshot) scores zero
 	// rather than indexing out of range in the engine.
 	n := graph.NodeID(snap.Graph.NumNodes())
+	part := snap.Graph.Partition()
 	var flat []predict.Pair
 	type span struct{ at []int } // flat index per member pair, -1 = unscorable
 	spans := make([]span, len(live))
@@ -899,6 +1003,19 @@ func (s *Server) serveScoreGroup(grp []*request, snap *Snapshot) {
 			if !dp.ok || dp.u >= n || dp.v >= n {
 				at[i] = -1
 				continue
+			}
+			if part != nil {
+				// A partitioned shard answers only the pairs it owns (min
+				// endpoint in range); the rest score zero with Owned unset,
+				// and exactly one shard in the cover flags each pair.
+				lo := dp.u
+				if dp.v < lo {
+					lo = dp.v
+				}
+				if !part.Owns(lo) {
+					at[i] = -1
+					continue
+				}
 			}
 			at[i] = len(flat)
 			flat = append(flat, predict.Pair{U: dp.u, V: dp.v})
@@ -935,11 +1052,11 @@ func (s *Server) serveScoreGroup(grp []*request, snap *Snapshot) {
 			Pairs:         make([]PairScore, len(r.ext)),
 		}
 		for i, p := range r.ext {
-			score := 0.0
+			score, owned := 0.0, false
 			if at := spans[m].at[i]; at >= 0 {
-				score = vals[at]
+				score, owned = vals[at], part != nil
 			}
-			res.Pairs[i] = PairScore{U: p[0], V: p[1], Score: score}
+			res.Pairs[i] = PairScore{U: p[0], V: p[1], Score: score, Owned: owned}
 		}
 		if degraded && obs.Enabled() {
 			obs.GetCounter("serve/degraded_responses").Inc()
