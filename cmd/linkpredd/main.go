@@ -20,6 +20,9 @@
 //	linkpredd -eval-topk 64 -eval-window 512              # prequential tuning
 //	linkpredd -partition 0:25000                          # memory-partitioned shard (DESIGN.md §13)
 //	linkpredd -metrics-out metrics.json -metrics-every 15s
+//	linkpredd -wal-dir /var/lib/linkpred/wal              # durable ingest (DESIGN.md §14)
+//	linkpredd -wal-dir ... -recover                       # replay checkpoint + log after a crash
+//	linkpredd -wal-dir ... -checkpoint-every 8192
 //
 // API (see internal/serve and DESIGN.md §9, §11):
 //
@@ -47,6 +50,7 @@ import (
 	"linkpred/internal/liveeval"
 	"linkpred/internal/obs"
 	"linkpred/internal/serve"
+	"linkpred/internal/wal"
 )
 
 // metricsDoc mirrors cmd/experiments' -metrics-out schema so the same
@@ -100,6 +104,9 @@ func main() {
 	evalTopK := flag.Int("eval-topk", 128, "ranked pairs retained per recorded prediction set")
 	evalWindow := flag.Int("eval-window", 1024, "sliding window (scored edges) for windowed hit rate and AUPR")
 	partition := flag.String("partition", "", "serve as one memory-partitioned shard owning dense sources [lo:hi); materializes only owned adjacency rows plus frontier and serves the partition-safe local family only")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory: every accepted ingest event is fsynced here before it is acked, so acked events survive a crash (DESIGN.md §14)")
+	checkpointEvery := flag.Int("checkpoint-every", 4096, "with -wal-dir: write a checkpoint snapshot after the replay horizon grows by N edges (negative disables)")
+	recoverWAL := flag.Bool("recover", false, "with -wal-dir: allow booting from a non-empty log directory, replaying checkpoint + tail and resuming at the recovered position; without it existing state is an error, so a stale directory is never reused silently")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry report as JSON to this path periodically and at shutdown; implies -obs")
 	metricsEvery := flag.Duration("metrics-every", 30*time.Second, "rewrite -metrics-out on this period")
 	flag.Parse()
@@ -147,12 +154,33 @@ func main() {
 		cfg.Partition = &[2]int{lo, hi}
 		fmt.Printf("linkpredd: partitioned shard owning sources [%d, %d)\n", lo, hi)
 	}
+	if *walDir != "" {
+		st, err := wal.NewDirStorage(*walDir)
+		if err != nil {
+			fail(err)
+		}
+		names, err := st.List()
+		if err != nil {
+			fail(err)
+		}
+		if len(names) > 0 && !*recoverWAL {
+			fail(fmt.Errorf("wal dir %s holds existing state (%d files); pass -recover to replay it", *walDir, len(names)))
+		}
+		cfg.WAL = st
+		cfg.CheckpointEvery = *checkpointEvery
+	}
 
 	srv, err := serve.New(cfg)
 	if err != nil {
 		fail(err)
 	}
 	defer srv.Close()
+	if *walDir != "" {
+		if w := srv.Health().WAL; w != nil {
+			fmt.Printf("linkpredd: wal %s: recovered %d edges (%d replayed from log, checkpoint at %d, truncated=%v)\n",
+				*walDir, w.RecoveredEdges, w.RecoveredTail, w.CheckpointEdges, w.Truncated)
+		}
+	}
 
 	stopDump := func() {}
 	if *metricsOut != "" {

@@ -11,7 +11,11 @@
 //   - /ingest replicates each event batch to every shard in serialized
 //     order, keeping snapshot cadence — and therefore epochs — aligned.
 //   - /score forwards to one shard round-robin (any shard holds the full
-//     graph); /flush publishes everywhere; /healthz aggregates.
+//     graph); /flush publishes everywhere; /healthz aggregates, flagging
+//     shards that restarted from their write-ahead log (linkpredd -wal-dir)
+//     and are still behind the replicated stream as catching_up — their
+//     ranges serve partial until the ingest delta is replayed and the
+//     trace lengths realign.
 //
 // Usage:
 //

@@ -391,3 +391,49 @@ func TestClusterScoreForward(t *testing.T) {
 		t.Fatalf("score pairs = %d, want 2", len(res.Pairs))
 	}
 }
+
+// TestClusterCatchingUpHealth: a shard that rejoins behind the replicated
+// stream — the post-crash-recovery state, where its WAL restored an older
+// ingest position — is reported up but catching_up in the aggregate
+// health, and the flag clears once the missed delta is replayed into it.
+func TestClusterCatchingUpHealth(t *testing.T) {
+	const seed = 31
+	tc := newTestCluster(t, 2, seed)
+	ctx := context.Background()
+
+	events := randomEvents(seed, 120)
+	if _, err := tc.router.Ingest(ctx, events[:80]); err != nil {
+		t.Fatal(err)
+	}
+	h := tc.router.Health(ctx)
+	if !h.OK || h.CatchingUp != 0 {
+		t.Fatalf("aligned cluster: ok=%v catching_up=%d", h.OK, h.CatchingUp)
+	}
+
+	// Shard 1 misses a batch (the crash window): feed it to shard 0 only.
+	if _, _, err := tc.servers[0].Ingest(events[80:]); err != nil {
+		t.Fatal(err)
+	}
+	h = tc.router.Health(ctx)
+	if h.OK {
+		t.Fatal("health OK with a lagging shard")
+	}
+	if h.CatchingUp != 1 {
+		t.Fatalf("catching_up = %d, want 1", h.CatchingUp)
+	}
+	if h.Workers[0].CatchingUp || !h.Workers[1].CatchingUp {
+		t.Fatalf("wrong shard flagged: %+v", h.Workers)
+	}
+	if !h.Workers[1].Up {
+		t.Fatal("a catching-up shard must still be up")
+	}
+
+	// Replaying the missed delta realigns the traces and clears the flag.
+	if _, _, err := tc.servers[1].Ingest(events[80:]); err != nil {
+		t.Fatal(err)
+	}
+	h = tc.router.Health(ctx)
+	if !h.OK || h.CatchingUp != 0 {
+		t.Fatalf("after delta replay: ok=%v catching_up=%d (%+v)", h.OK, h.CatchingUp, h.Workers)
+	}
+}

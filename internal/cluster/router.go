@@ -119,6 +119,13 @@ type ShardHealth struct {
 	URL   string `json:"url"`
 	Up    bool   `json:"up"`
 	Err   string `json:"err,omitempty"`
+	// CatchingUp marks an up shard whose ingest position (TraceEdges)
+	// trails the most advanced up shard — typically one that crashed,
+	// recovered its trace from the write-ahead log, and is replaying the
+	// ingest delta it missed. Its snapshots are internally consistent but
+	// epoch-stale, so the router serves its ranges partial until the edge
+	// counts realign.
+	CatchingUp bool `json:"catching_up,omitempty"`
 	serve.Health
 }
 
@@ -127,10 +134,13 @@ type ShardHealth struct {
 // (Partitioned true) that total plus frontier overhead replaces N full
 // copies of the graph, which is the memory win §13 quantifies.
 type ClusterHealth struct {
-	OK            bool          `json:"ok"`
-	Shards        int           `json:"shards"`
-	ShardsUp      int           `json:"shards_up"`
-	EpochSkew     int64         `json:"epoch_skew"`
+	OK        bool  `json:"ok"`
+	Shards    int   `json:"shards"`
+	ShardsUp  int   `json:"shards_up"`
+	EpochSkew int64 `json:"epoch_skew"`
+	// CatchingUp counts up shards still replaying missed ingest after a
+	// crash-recovery restart (see ShardHealth.CatchingUp).
+	CatchingUp    int           `json:"catching_up,omitempty"`
 	SnapshotBytes int64         `json:"snapshot_bytes"`
 	Partitioned   bool          `json:"partitioned,omitempty"`
 	Workers       []ShardHealth `json:"workers"`
@@ -157,12 +167,15 @@ func (e *ShardRejection) Error() string { return e.Msg }
 // graph state of its own: shards are the system of record, and the router's
 // only invariants are (a) replicated ingest order and (b) same-epoch merge.
 //
-// Known limitation (ROADMAP item 2): if a shard misses an ingest batch
-// (crash, partition), its trace diverges and its snapshots stop matching
-// the others' — the router detects this as persistent epoch misalignment
-// and serves partial responses for that shard's ranges, but recovery
-// (replaying the WAL into the lagging shard) is out of scope until the
-// durable-trace work lands.
+// Shard recovery (ROADMAP item 2): a shard that misses ingest batches
+// (crash, partition) diverges, and the router detects this as persistent
+// epoch misalignment, serving partial responses for that shard's ranges.
+// With the durable trace landed (internal/wal), a crashed shard restarts
+// from its own write-ahead log + checkpoint, resumes at its pre-crash
+// ingest position, and reports catching_up in the aggregate health until
+// its trace length realigns with the most advanced shard; the operator
+// replays the missed delta (or the upstream source re-sends it) to close
+// the gap. Router-driven automatic delta replay remains future work.
 type Router struct {
 	cfg    Config
 	client *http.Client
@@ -973,6 +986,7 @@ func (r *Router) Health(ctx context.Context) *ClusterHealth {
 	}
 	wg.Wait()
 	var lo, hi int64
+	maxEdges := 0
 	first := true
 	for _, w := range out.Workers {
 		if !w.Up {
@@ -983,6 +997,9 @@ func (r *Router) Health(ctx context.Context) *ClusterHealth {
 		if w.PartitionRange != nil {
 			out.Partitioned = true
 		}
+		if w.TraceEdges > maxEdges {
+			maxEdges = w.TraceEdges
+		}
 		if first || w.SnapshotSeq < lo {
 			lo = w.SnapshotSeq
 		}
@@ -991,10 +1008,22 @@ func (r *Router) Health(ctx context.Context) *ClusterHealth {
 		}
 		first = false
 	}
+	// A recovering shard is up and self-consistent but behind the
+	// replicated stream: its trace is shorter than the most advanced up
+	// shard's. Flag it so operators can tell "replaying after restart"
+	// apart from "down".
+	for i := range out.Workers {
+		w := &out.Workers[i]
+		if w.Up && w.TraceEdges < maxEdges {
+			w.CatchingUp = true
+			out.CatchingUp++
+		}
+	}
 	out.EpochSkew = hi - lo
-	out.OK = out.ShardsUp == n && out.EpochSkew == 0
+	out.OK = out.ShardsUp == n && out.EpochSkew == 0 && out.CatchingUp == 0
 	if obs.Enabled() {
 		obs.GetGauge("cluster/shards_up").Set(float64(out.ShardsUp))
+		obs.GetGauge("cluster/shards_catching_up").Set(float64(out.CatchingUp))
 		obs.GetGauge("cluster/snapshot_bytes").Set(float64(out.SnapshotBytes))
 		partBytes := 0.0
 		if out.Partitioned {

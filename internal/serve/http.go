@@ -99,6 +99,8 @@ func errStatus(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrBatchAborted), errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDurability):
+		return http.StatusInternalServerError
 	case errors.Is(err, predict.ErrUnknownAlgorithm), errors.Is(err, ErrPartitionUnsupported):
 		return http.StatusBadRequest
 	default:

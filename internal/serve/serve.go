@@ -49,6 +49,7 @@ import (
 	"linkpred/internal/liveeval"
 	"linkpred/internal/obs"
 	"linkpred/internal/predict"
+	"linkpred/internal/wal"
 )
 
 // Event is one timestamped edge-creation event in external ID space.
@@ -106,6 +107,26 @@ type Config struct {
 	// controller routes latent algorithms to the proxy with the best
 	// measured accuracy-per-cost instead of the static table.
 	Eval *liveeval.Engine
+	// WAL, when set, makes ingest durable: every accepted edge is appended
+	// to a write-ahead log on this storage and group-committed (one fsync
+	// per Ingest batch) before Ingest returns, so an acked event survives a
+	// crash. New recovers any prior state found on the storage — checkpoint
+	// plus tail replay — before serving; Config.Trace then acts only as the
+	// warm-start base for an empty log. After a log failure the server
+	// rejects further writes with ErrDurability (HTTP 500) but keeps
+	// serving queries.
+	WAL wal.Storage
+	// WALOptions tunes the log's group-commit batch and segment size; the
+	// zero value takes the wal package defaults.
+	WALOptions wal.Options
+	// CheckpointEvery writes a checkpoint snapshot after the replay horizon
+	// (trace edges past the last checkpoint) grows by N edges, bounding
+	// recovery time and enabling segment pruning (default 4096; negative
+	// disables). Checkpoints serialize in the background, off the ingest
+	// path. Ignored without WAL, and on partitioned shards — a shard's
+	// snapshot holds only its owned rows, so shards always recover by full
+	// replay.
+	CheckpointEvery int
 	// Partition, when non-nil, runs the server as one ownership shard of a
 	// memory-partitioned cluster: the snapshot builder still ingests the
 	// full replicated edge stream, but materializes only the adjacency rows
@@ -211,6 +232,10 @@ type Health struct {
 	// can verify its shards form a disjoint cover before merging.
 	SnapshotBytes  int64   `json:"snapshot_bytes"`
 	PartitionRange *[2]int `json:"partition_range,omitempty"`
+	// WAL reports durability state on WAL-backed servers (absent
+	// otherwise): commit/checkpoint positions, the boot-time recovery
+	// outcome, and the sticky failure latch.
+	WAL *WALStatus `json:"wal,omitempty"`
 }
 
 var (
@@ -317,6 +342,21 @@ type Server struct {
 	// feeding the accuracy-per-cost routing.
 	costMu sync.Mutex
 	cost   map[string]float64
+
+	// wal is the write-ahead log (nil without Config.WAL). The mirrored
+	// atomics below keep Health and the gauges off the log's lock; the
+	// sticky walFailed latch plus walErrStr record the first durability
+	// error. walRecovered pins the boot-time recovery outcome.
+	wal           *wal.Log
+	walRecovered  walRecoveryInfo
+	walAppendedN  atomic.Uint64
+	walCommittedN atomic.Uint64
+	walSegmentsN  atomic.Int64
+	ckptEdges     atomic.Int64
+	ckptBusy      atomic.Bool
+	walFailed     atomic.Bool
+	walErrMu      sync.Mutex
+	walErrStr     string
 }
 
 // New starts a server: applies defaults, publishes the initial snapshot
@@ -354,13 +394,34 @@ func New(cfg Config) (*Server, error) {
 	if cfg.WarmAlgorithms == nil {
 		cfg.WarmAlgorithms = []string{"AA", "BAA", "Katz", "KatzSC", "Rescal"}
 	}
+	if cfg.Trace != nil {
+		if err := cfg.Trace.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: warm-start trace: %w", err)
+		}
+	}
 	tr := cfg.Trace
+	var wlog *wal.Log
+	var rec *wal.Recovered
+	if cfg.WAL != nil {
+		if cfg.CheckpointEvery == 0 {
+			cfg.CheckpointEvery = 4096
+		}
+		var err error
+		wlog, rec, err = wal.Open(cfg.WAL, cfg.WALOptions, cfg.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("serve: wal recovery: %w", err)
+		}
+		tr = rec.Trace
+	}
 	if tr == nil {
 		tr = &graph.Trace{Name: "live"}
-	} else if err := tr.Validate(); err != nil {
-		return nil, fmt.Errorf("serve: warm-start trace: %w", err)
 	}
 	builder := graph.NewIncrementalBuilder(tr)
+	if rec != nil && rec.Graph != nil && cfg.Partition == nil {
+		// Seed the builder with the checkpoint's zero-copy CSR so the boot
+		// publish materializes only the replayed tail, not the whole graph.
+		builder = graph.NewIncrementalBuilderFrom(tr, rec.Graph, int(rec.CheckpointEdges))
+	}
 	if p := cfg.Partition; p != nil {
 		if p[0] < 0 || p[1] <= p[0] {
 			return nil, fmt.Errorf("serve: bad partition range [%d, %d)", p[0], p[1])
@@ -378,17 +439,60 @@ func New(cfg Config) (*Server, error) {
 		cost:    make(map[string]float64),
 	}
 	s.traceLen.Store(int64(len(tr.Edges)))
-	// Warm-start IDs are the trace's own dense IDs.
-	s.rev = make([]int64, tr.NumNodes())
-	for i := range s.rev {
-		s.rev[i] = int64(i)
-		s.remap[int64(i)] = graph.NodeID(i)
+	if rec != nil {
+		// The log's ID maps are authoritative: external IDs recovered from
+		// the records themselves (or identity for a warm-start prefix).
+		s.remap, s.rev = rec.Remap, rec.Rev
+		s.wal = wlog
+		s.walRecovered = walRecoveryInfo{
+			edges:     len(tr.Edges),
+			tail:      rec.TailRecords,
+			truncated: rec.Truncated,
+		}
+		s.ckptEdges.Store(int64(rec.CheckpointEdges))
+		s.walSyncStats()
+	} else {
+		// Warm-start IDs are the trace's own dense IDs.
+		s.rev = make([]int64, tr.NumNodes())
+		for i := range s.rev {
+			s.rev[i] = int64(i)
+			s.remap[int64(i)] = graph.NodeID(i)
+		}
 	}
 	s.mu.Lock()
 	s.seq = -1 // the initial publication is seq 0
+	if rec != nil && rec.LastPub != nil {
+		// Restore the serving epoch: republishing exactly the last logged
+		// publication keeps its seq (the boot snapshot is bit-identical to
+		// the pre-crash one); recovering past it — edges acked after the
+		// last publish — advances the epoch so routers never see one seq
+		// with two different edge counts.
+		if rec.LastPub.Edges == uint64(len(tr.Edges)) {
+			s.seq = rec.LastPub.Seq - 1
+		} else {
+			s.seq = rec.LastPub.Seq
+		}
+	}
 	s.publishLocked()
+	if s.wal != nil {
+		if err := s.walCommit(); err != nil {
+			s.mu.Unlock()
+			wlog.Close()
+			return nil, fmt.Errorf("serve: wal boot commit: %w", err)
+		}
+	}
 	s.mu.Unlock()
 	s.registerGauges()
+	if s.wal != nil {
+		s.registerWALGauges()
+		if obs.Enabled() {
+			obs.GetCounter("serve/wal_recovered_edges").Add(int64(s.walRecovered.edges))
+			obs.GetCounter("serve/wal_recovered_tail").Add(int64(s.walRecovered.tail))
+			if s.walRecovered.truncated {
+				obs.GetCounter("serve/wal_recovered_truncations").Inc()
+			}
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -449,7 +553,14 @@ func (s *Server) Close() {
 	s.closed = true
 	close(s.done)
 	s.closeMu.Unlock()
-	s.wg.Wait()
+	s.wg.Wait() // workers, warmers, and any in-flight background checkpoint
+	if s.wal != nil {
+		s.mu.Lock()
+		if err := s.wal.Close(); err != nil && !s.walFailed.Load() {
+			s.walFail(err)
+		}
+		s.mu.Unlock()
+	}
 	for {
 		select {
 		case r := <-s.queue:
@@ -483,6 +594,7 @@ func (s *Server) Health() Health {
 		Degraded:      s.deg.degraded(),
 		QueueDepth:    len(s.queue),
 		SnapshotBytes: snap.Graph.ResidentBytes(),
+		WAL:           s.walStatus(),
 		PartitionRange: func() *[2]int {
 			if s.cfg.Partition == nil {
 				return nil
@@ -497,12 +609,21 @@ func (s *Server) Health() Health {
 // the configured cadence. Events with negative IDs or equal endpoints are
 // rejected individually; the rest are accepted in order. It returns the
 // accepted and rejected counts.
+//
+// On a WAL-backed server the return is the durability ack: every accepted
+// event has been appended to the log and group-committed (fsynced) before
+// Ingest returns nil. A log failure returns ErrDurability with zero counts
+// — none of the batch should be considered durable — and latches the
+// server read-only for writes.
 func (s *Server) Ingest(events []Event) (accepted, rejected int, err error) {
 	s.closeMu.RLock()
 	closed := s.closed
 	s.closeMu.RUnlock()
 	if closed {
 		return 0, 0, ErrClosed
+	}
+	if s.wal != nil && s.walFailed.Load() {
+		return 0, 0, s.walErr()
 	}
 	s.mu.Lock()
 	for _, ev := range events {
@@ -511,9 +632,20 @@ func (s *Server) Ingest(events []Event) (accepted, rejected int, err error) {
 			continue
 		}
 		u, v := s.dense(ev.U), s.dense(ev.V)
-		if _, aerr := s.trace.Append(u, v, ev.T); aerr != nil {
+		e, aerr := s.trace.Append(u, v, ev.T)
+		if aerr != nil {
 			rejected++
 			continue
+		}
+		if s.wal != nil {
+			// Log the event exactly as applied (post-clamp time, dense IDs):
+			// replay re-runs Append and asserts it reproduces this edge.
+			werr := s.wal.Append(wal.Record{ExtU: ev.U, ExtV: ev.V, U: e.U, V: e.V, T: e.Time})
+			if werr != nil {
+				s.walFail(werr)
+				s.mu.Unlock()
+				return 0, 0, s.walErr()
+			}
 		}
 		accepted++
 		s.pending++
@@ -526,6 +658,12 @@ func (s *Server) Ingest(events []Event) (accepted, rejected int, err error) {
 		}
 		if s.pending >= s.cfg.SnapshotEvery {
 			s.publishLocked()
+		}
+	}
+	if s.wal != nil && accepted > 0 {
+		if werr := s.walCommit(); werr != nil {
+			s.mu.Unlock()
+			return 0, 0, werr
 		}
 	}
 	lag := len(s.trace.Edges) - s.builder.Applied()
@@ -549,7 +687,13 @@ func (s *Server) Flush() *Snapshot {
 	if s.builder.Applied() == len(s.trace.Edges) && s.cur.Load() != nil {
 		return s.cur.Load()
 	}
-	return s.publishLocked()
+	snap := s.publishLocked()
+	if s.wal != nil && !s.walFailed.Load() {
+		// Make the publish marker durable too: Flush is the explicit
+		// "everything so far" barrier.
+		_ = s.walCommit()
+	}
+	return snap
 }
 
 // dense remaps an external ID, assigning the next dense ID on first sight.
@@ -600,6 +744,9 @@ func (s *Server) publishLocked() *Snapshot {
 	prev := s.cur.Load()
 	s.cur.Store(snap)
 	s.lastPublishNS.Store(time.Now().UnixNano())
+	if s.wal != nil {
+		s.walNotePublish(snap)
+	}
 	deltaRows := s.builder.DeltaRows() - s.lastDeltaRows
 	s.lastDeltaRows = s.builder.DeltaRows()
 	if obs.Enabled() {

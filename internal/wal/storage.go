@@ -1,0 +1,416 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Storage is the byte-level substrate the log writes through. Two backends
+// ship: DirStorage (real files, fsync durability) and MemStorage (an
+// in-memory journal that can reconstruct the state a crash at any byte
+// boundary would have left behind — the fault-injection vehicle the crash
+// matrix drives). The log's durability contract is expressed entirely in
+// these five operations: data survives a crash only once Sync returned, and
+// Rename is the atomic publish primitive checkpoints rely on.
+type Storage interface {
+	// List returns every stored file name, sorted.
+	List() ([]string, error)
+	// Bytes returns the full content of a file. Backends return a zero-copy
+	// view where they can (MemStorage's buffer, DirStorage's mmap on linux);
+	// callers must treat the slice as immutable.
+	Bytes(name string) ([]byte, error)
+	// Create opens a new file for appending, truncating any existing one.
+	Create(name string) (File, error)
+	// Rename atomically replaces newname with oldname's content.
+	Rename(oldname, newname string) error
+	// Remove deletes a file. Removing a missing file is not an error.
+	Remove(name string) error
+}
+
+// File is the injectable write handle. Tests wrap it (DirStorage.Wrap, or
+// MemStorage's built-in fault hooks) to simulate short writes, write errors,
+// and fsync loss without touching the log layer above.
+type File interface {
+	io.Writer
+	// Sync makes everything written so far crash-durable.
+	Sync() error
+	Close() error
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem backend.
+
+// DirStorage stores files flat in one directory. Creates, renames, and
+// removes fsync the directory so the namespace operations are as durable as
+// the data; Bytes memory-maps on platforms that support it (see
+// storage_mmap_linux.go) so checkpoint loads are zero-copy.
+type DirStorage struct {
+	Dir string
+	// Wrap, when set, intercepts every created file — the filesystem-level
+	// fault-injection hook (short writes, dropped syncs).
+	Wrap func(name string, f File) File
+}
+
+// NewDirStorage creates the directory if needed and returns the backend.
+func NewDirStorage(dir string) (*DirStorage, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStorage{Dir: dir}, nil
+}
+
+func (d *DirStorage) List() ([]string, error) {
+	ents, err := os.ReadDir(d.Dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (d *DirStorage) Bytes(name string) ([]byte, error) {
+	return d.readFile(filepath.Join(d.Dir, name))
+}
+
+type dirFile struct{ f *os.File }
+
+func (f *dirFile) Write(p []byte) (int, error) { return f.f.Write(p) }
+func (f *dirFile) Sync() error                 { return f.f.Sync() }
+func (f *dirFile) Close() error                { return f.f.Close() }
+
+func (d *DirStorage) Create(name string) (File, error) {
+	f, err := os.Create(filepath.Join(d.Dir, name))
+	if err != nil {
+		return nil, err
+	}
+	if err := d.syncDir(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	var out File = &dirFile{f: f}
+	if d.Wrap != nil {
+		out = d.Wrap(name, out)
+	}
+	return out, nil
+}
+
+func (d *DirStorage) Rename(oldname, newname string) error {
+	if err := os.Rename(filepath.Join(d.Dir, oldname), filepath.Join(d.Dir, newname)); err != nil {
+		return err
+	}
+	return d.syncDir()
+}
+
+func (d *DirStorage) Remove(name string) error {
+	if err := os.Remove(filepath.Join(d.Dir, name)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return d.syncDir()
+}
+
+// syncDir fsyncs the directory so creates/renames/removes survive a crash.
+func (d *DirStorage) syncDir() error {
+	f, err := os.Open(d.Dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	f.Close()
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend with crash reconstruction.
+
+// OpKind labels one journaled storage operation.
+type OpKind int
+
+const (
+	OpCreate OpKind = iota
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op is one journal entry: a namespace operation (zero-width) or a write
+// (Len payload bytes starting at global byte offset Start). The crash
+// harness enumerates these to place crashes at every interesting boundary.
+type Op struct {
+	Kind  OpKind
+	Name  string
+	To    string // rename target
+	Start int64  // global write-stream offset (writes only)
+	Len   int64  // payload length (writes only)
+}
+
+type memOp struct {
+	Op
+	data []byte
+}
+
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// MemStorage is the deterministic in-memory backend. Every operation is
+// journaled; Reconstruct replays a prefix of the journal onto a fresh
+// MemStorage, optionally dropping bytes that were never synced — exactly the
+// two states a kill -9 can leave behind (everything-persisted up to a torn
+// byte, or synced-data-only). Safe for concurrent use.
+type MemStorage struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	journal []memOp
+	written int64
+
+	// failWriteAfter, when >= 0, makes Write return errInjected once the
+	// cumulative payload reaches it — the write-error injection hook.
+	failWriteAfter int64
+}
+
+// ErrInjected is the failure MemStorage write/sync fault hooks return.
+var ErrInjected = fmt.Errorf("wal: injected storage failure")
+
+// NewMemStorage returns an empty in-memory backend.
+func NewMemStorage() *MemStorage {
+	return &MemStorage{files: make(map[string]*memFile), failWriteAfter: -1}
+}
+
+// FailWritesAfter arms the write-error hook: once n more payload bytes have
+// been written, every subsequent Write fails with ErrInjected. Pass a
+// negative n to disarm.
+func (m *MemStorage) FailWritesAfter(n int64) {
+	m.mu.Lock()
+	if n < 0 {
+		m.failWriteAfter = -1
+	} else {
+		m.failWriteAfter = m.written + n
+	}
+	m.mu.Unlock()
+}
+
+func (m *MemStorage) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemStorage) Bytes(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("wal: %s: %w", name, os.ErrNotExist)
+	}
+	return f.data, nil
+}
+
+type memHandle struct {
+	st   *MemStorage
+	name string
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.st.mu.Lock()
+	defer h.st.mu.Unlock()
+	f, ok := h.st.files[h.name]
+	if !ok {
+		return 0, fmt.Errorf("wal: write to removed file %s", h.name)
+	}
+	if h.st.failWriteAfter >= 0 && h.st.written >= h.st.failWriteAfter {
+		return 0, ErrInjected
+	}
+	data := make([]byte, len(p))
+	copy(data, p)
+	h.st.journal = append(h.st.journal, memOp{
+		Op:   Op{Kind: OpWrite, Name: h.name, Start: h.st.written, Len: int64(len(p))},
+		data: data,
+	})
+	f.data = append(f.data, data...)
+	h.st.written += int64(len(p))
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.st.mu.Lock()
+	defer h.st.mu.Unlock()
+	f, ok := h.st.files[h.name]
+	if !ok {
+		return fmt.Errorf("wal: sync of removed file %s", h.name)
+	}
+	f.synced = len(f.data)
+	h.st.journal = append(h.st.journal, memOp{Op: Op{Kind: OpSync, Name: h.name}})
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+func (m *MemStorage) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = &memFile{}
+	m.journal = append(m.journal, memOp{Op: Op{Kind: OpCreate, Name: name}})
+	return &memHandle{st: m, name: name}, nil
+}
+
+func (m *MemStorage) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("wal: rename missing file %s", oldname)
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	m.journal = append(m.journal, memOp{Op: Op{Kind: OpRename, Name: oldname, To: newname}})
+	return nil
+}
+
+func (m *MemStorage) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, name)
+	m.journal = append(m.journal, memOp{Op: Op{Kind: OpRemove, Name: name}})
+	return nil
+}
+
+// Ops returns the journal's operation summaries (no payloads), for crash
+// harnesses picking boundaries.
+func (m *MemStorage) Ops() []Op {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Op, len(m.journal))
+	for i, op := range m.journal {
+		out[i] = op.Op
+	}
+	return out
+}
+
+// TotalWriteBytes returns the length of the global write stream so far —
+// the exclusive upper bound for Reconstruct crash points.
+func (m *MemStorage) TotalWriteBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.written
+}
+
+// Reconstruct builds the storage state a crash at global write offset
+// byteLimit would leave behind: namespace operations that happened before
+// the write carrying byteLimit are applied, write payloads are kept up to
+// the limit (the last write possibly torn mid-record), and — when
+// syncedOnly is set — each file is additionally truncated to the length its
+// last pre-crash Sync covered, modeling lost page-cache contents. The
+// receiver is untouched; the result is an independent MemStorage ready for
+// recovery.
+func (m *MemStorage) Reconstruct(byteLimit int64, syncedOnly bool) *MemStorage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemStorage()
+	syncedAt := make(map[*memFile]int)
+	for _, op := range m.journal {
+		if op.Kind == OpWrite && op.Start >= byteLimit {
+			break
+		}
+		switch op.Kind {
+		case OpCreate:
+			out.files[op.Name] = &memFile{}
+		case OpWrite:
+			torn := op.Start+op.Len > byteLimit
+			f := out.files[op.Name]
+			if f != nil {
+				data := op.data
+				if torn {
+					data = data[:byteLimit-op.Start]
+				}
+				f.data = append(f.data, data...)
+			}
+			if torn {
+				// The crash landed inside this write; nothing after it —
+				// including namespace operations — happened.
+				goto done
+			}
+		case OpSync:
+			if f := out.files[op.Name]; f != nil {
+				syncedAt[f] = len(f.data)
+			}
+		case OpRename:
+			if f := out.files[op.Name]; f != nil {
+				delete(out.files, op.Name)
+				out.files[op.To] = f
+			}
+		case OpRemove:
+			delete(out.files, op.Name)
+		}
+	}
+done:
+	if syncedOnly {
+		for _, f := range out.files {
+			f.data = f.data[:syncedAt[f]]
+			f.synced = len(f.data)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent deep copy of the current state (journal not
+// included) — the "clean shutdown" reference the crash harness compares
+// recoveries against.
+func (m *MemStorage) Clone() *MemStorage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemStorage()
+	for name, f := range m.files {
+		data := make([]byte, len(f.data))
+		copy(data, f.data)
+		out.files[name] = &memFile{data: data, synced: f.synced}
+	}
+	return out
+}
+
+// segName formats the file name of segment seq; parseSegName inverts it.
+func segName(seq uint64) string { return fmt.Sprintf("wal-%08d.seg", seq) }
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "wal-%08d.seg", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}

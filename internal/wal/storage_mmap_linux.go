@@ -1,0 +1,34 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// readFile memory-maps the file read-only, so loading a checkpoint is
+// zero-copy: DecodeCheckpoint aliases its bulk sections straight out of
+// the mapping. Mappings are intentionally never unmapped — a recovered
+// graph's adjacency may alias them for the life of the process, and
+// recovery runs once per boot.
+func (d *DirStorage) readFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return []byte{}, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		// Filesystems that cannot map (or size races) fall back to a read.
+		return os.ReadFile(path)
+	}
+	return b, nil
+}

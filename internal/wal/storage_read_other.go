@@ -1,0 +1,11 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// readFile loads the file with a plain read on platforms without the mmap
+// path.
+func (d *DirStorage) readFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
